@@ -1,0 +1,65 @@
+// Ablation AB4 (paper Sec. 6 future work): adaptive speed-up of critical
+// gates via forward body bias, guided by the speed-path analysis. Biasing a
+// few percent of the gates shrinks the exact SPCF — fewer patterns settle
+// late — which directly lowers the masked-error exposure the wearout
+// monitor would log.
+#include <iostream>
+
+#include "harness/table.h"
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "masking/body_bias.h"
+#include "suite/paper_suite.h"
+#include "util/strings.h"
+
+namespace sm {
+namespace {
+
+int Main() {
+  const Library lib = Lsi10kLike();
+  const char* names[] = {"C432", "C880", "apex6", "sparc_ifu_dcl"};
+  std::cout << "Ablation: body-bias speed-up of critical gates "
+               "(bias factor 0.8, guard band 10%)\n\n";
+  TablePrinter table(std::cout, {{"Circuit", 16},
+                                 {"Gates", 6},
+                                 {"Biased", 7},
+                                 {"Δ before", 9},
+                                 {"Δ after", 8},
+                                 {"|Σ|/2^n before", 14},
+                                 {"|Σ|/2^n after", 13},
+                                 {"Leak cost", 9}});
+  table.PrintHeader();
+
+  bool ok = true;
+  for (const char* name : names) {
+    const Network ti = GenerateCircuit(PaperCircuitByName(name).spec);
+    const TechMapResult mapped = DecomposeAndMap(ti, lib);
+    const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+    BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+
+    BodyBiasPlan plan = PlanBodyBias(mapped.netlist, timing);
+    plan = EvaluateBodyBias(mgr, mapped.netlist, timing, plan);
+
+    table.PrintRow({name, std::to_string(mapped.netlist.NumGates()),
+                    std::to_string(plan.biased.size()),
+                    FormatPercent(plan.delay_before, 2),
+                    FormatPercent(plan.delay_after, 2),
+                    FormatCount(plan.sigma_fraction_before),
+                    FormatCount(plan.sigma_fraction_after),
+                    FormatPercent(plan.leakage_cost)});
+    ok = ok && plan.delay_after <= plan.delay_before + 1e-9;
+    ok = ok &&
+         plan.sigma_fraction_after <= plan.sigma_fraction_before + 1e-15;
+  }
+  table.PrintSeparator();
+  std::cout << (ok ? "\nbiasing never increased the critical delay or the "
+                     "SPCF mass; the speed-path analysis pinpoints where "
+                     "bias buys exposure reduction\n"
+                   : "\nFAILURES detected\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sm
+
+int main() { return sm::Main(); }

@@ -1,0 +1,98 @@
+// Micro benchmarks (google-benchmark) for the substrate hot paths: BDD
+// operations, ISOP extraction, technology mapping, STA, and the SPCF engine.
+#include <benchmark/benchmark.h>
+
+#include "boolean/isop.h"
+#include "liblib/lsi10k.h"
+#include "map/mapped_bdd.h"
+#include "map/tech_map.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+#include "suite/paper_suite.h"
+#include "util/rng.h"
+
+namespace sm {
+namespace {
+
+void BM_BddAndOrChain(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BddManager mgr(vars);
+    BddManager::Ref acc = mgr.True();
+    for (int v = 0; v + 1 < vars; v += 2) {
+      acc = mgr.And(acc, mgr.Or(mgr.Var(v), mgr.NotVar(v + 1)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_BddAndOrChain)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BddSatCount(benchmark::State& state) {
+  const int vars = 64;
+  BddManager mgr(vars);
+  Rng rng(1);
+  BddManager::Ref f = mgr.False();
+  for (int i = 0; i < 24; ++i) {
+    BddManager::Ref cube = mgr.True();
+    for (int j = 0; j < 8; ++j) {
+      const int v = static_cast<int>(rng.Below(vars));
+      cube = mgr.And(cube, rng.Chance(0.5) ? mgr.Var(v) : mgr.NotVar(v));
+    }
+    f = mgr.Or(f, cube);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.SatCount(f));
+  }
+}
+BENCHMARK(BM_BddSatCount);
+
+void BM_IsopRandom(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  Rng rng(7);
+  TruthTable tt(vars);
+  for (std::uint64_t m = 0; m < tt.num_minterms_space(); ++m) {
+    tt.Set(m, rng.Chance(0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Isop(tt, TruthTable::Const0(vars)));
+  }
+}
+BENCHMARK(BM_IsopRandom)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_TechMapC432(benchmark::State& state) {
+  const Library lib = Lsi10kLike();
+  const Network ti = GenerateCircuit(PaperCircuitByName("C432").spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposeAndMap(ti, lib));
+  }
+}
+BENCHMARK(BM_TechMapC432);
+
+void BM_StaC2670(benchmark::State& state) {
+  const Library lib = Lsi10kLike();
+  const Network ti = GenerateCircuit(PaperCircuitByName("C2670").spec);
+  const TechMapResult mapped = DecomposeAndMap(ti, lib);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeTiming(mapped.netlist));
+  }
+}
+BENCHMARK(BM_StaC2670);
+
+void BM_SpcfShortPathC432(benchmark::State& state) {
+  const Library lib = Lsi10kLike();
+  const Network ti = GenerateCircuit(PaperCircuitByName("C432").spec);
+  const TechMapResult mapped = DecomposeAndMap(ti, lib);
+  const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+  for (auto _ : state) {
+    BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+    SpcfOptions options;
+    benchmark::DoNotOptimize(
+        ComputeSpcf(mgr, mapped.netlist, timing, options));
+  }
+}
+BENCHMARK(BM_SpcfShortPathC432);
+
+}  // namespace
+}  // namespace sm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Aggressive frequency scaling with error masking (paper Sec. 6, future
+// work): because every timing error on a speed-path within the guard band is
+// masked, the protected circuit can be clocked *below* Δ — down to roughly
+// 0.9·Δ plus the mux — while the unprotected circuit starts failing as soon
+// as the clock dips under Δ. This explorer sweeps the clock and compares
+// observed error rates.
+#include <iostream>
+
+#include "harness/flow.h"
+#include "liblib/lsi10k.h"
+#include "sim/event_sim.h"
+#include "suite/structured.h"
+
+namespace {
+
+struct Rates {
+  double unprotected = 0;
+  double protected_rate = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sm;
+  const Library lib = Lsi10kLike();
+  const Network ti = RippleComparatorNetwork(12);
+  const FlowResult flow = RunMaskingFlow(ti, lib);
+  if (!flow.verification.ok()) {
+    std::cerr << "verification failed\n";
+    return 1;
+  }
+  const MappedNetlist& orig = flow.original;
+  const MappedNetlist& prot = flow.protected_circuit.netlist;
+  const double delta = flow.timing.critical_delay;
+  const double mux_delay = lib.ByNameOrThrow("MUX2")->max_delay();
+
+  std::cout << "== DVS explorer: " << ti.name() << " ==\n"
+            << "Δ = " << delta << ", masking circuit delay "
+            << flow.protected_circuit.masking_delay
+            << ", mux compensation +" << mux_delay << "\n\n"
+            << "effective-clock/Δ   unprotected err%   protected err%\n"
+            << "------------------------------------------------------\n";
+
+  bool protected_ok_at_095 = true;
+  for (double scale : {1.05, 1.00, 0.98, 0.95, 0.92, 0.90}) {
+    const double eff_clock = scale * delta;
+    Rates rates;
+    Rng rng(4242);
+    std::vector<bool> prev(orig.NumInputs(), false);
+    const int kCycles = 2000;
+    int unprot_errs = 0;
+    int prot_errs = 0;
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      std::vector<bool> next(orig.NumInputs());
+      for (std::size_t v = 0; v < next.size(); ++v) next[v] = rng.Chance(0.5);
+
+      EventSimConfig ucfg;
+      ucfg.clock = eff_clock;
+      const EventSimResult usim = SimulateTransition(orig, prev, next, ucfg);
+      for (const auto& o : orig.outputs()) {
+        unprot_errs += usim.TimingErrorAt(o.driver) ? 1 : 0;
+      }
+
+      EventSimConfig pcfg;
+      pcfg.clock = eff_clock + mux_delay;  // same logic budget, mux added
+      const EventSimResult psim = SimulateTransition(prot, prev, next, pcfg);
+      for (const auto& o : prot.outputs()) {
+        prot_errs += psim.TimingErrorAt(o.driver) ? 1 : 0;
+      }
+      prev = next;
+    }
+    const double denom = static_cast<double>(kCycles) *
+                         static_cast<double>(orig.NumOutputs());
+    rates.unprotected = 100.0 * unprot_errs / denom;
+    rates.protected_rate = 100.0 * prot_errs / denom;
+    std::printf("      %.2f           %8.3f%%        %8.3f%%\n", scale,
+                rates.unprotected, rates.protected_rate);
+    if (scale >= 0.95 && rates.protected_rate > 0) {
+      protected_ok_at_095 = false;
+    }
+  }
+  std::cout << "\nwithin the 10% guard band the protected circuit runs "
+               "error-free below Δ while the unprotected one already "
+               "fails — masking converts the guard band into usable "
+               "frequency/voltage headroom.\n";
+  return protected_ok_at_095 ? 0 : 1;
+}

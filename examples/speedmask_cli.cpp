@@ -1,0 +1,180 @@
+// speedmask_cli — command-line driver for the library.
+//
+//   speedmask_cli flow <circuit> [--guard <frac>] [--verilog <path>]
+//       run the full masking flow on a named paper circuit or a BLIF file;
+//       prints the Table-2 row and optionally writes the protected netlist.
+//   speedmask_cli spcf <circuit> [--guard <frac>] [--algo node|path|short]
+//       compute the SPCF and print per-output pattern counts.
+//   speedmask_cli gen <name> [--blif <path>]
+//       generate a named paper circuit and print stats / write BLIF.
+//   speedmask_cli list
+//       list the built-in paper circuits.
+//
+// <circuit> is either a name from `list` or a path to a BLIF file.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/flow.h"
+#include "liblib/lsi10k.h"
+#include "map/netlist_io.h"
+#include "network/blif.h"
+#include "network/topo.h"
+#include "suite/paper_suite.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace sm;
+
+Network LoadCircuit(const std::string& spec) {
+  if (spec.find('.') != std::string::npos ||
+      spec.find('/') != std::string::npos) {
+    return ReadBlifFile(spec);
+  }
+  return GenerateCircuit(PaperCircuitByName(spec).spec);
+}
+
+std::optional<std::string> GetFlag(std::vector<std::string>& args,
+                                   const std::string& name) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+int CmdList() {
+  std::cout << "built-in circuits (Table 2 of the paper):\n";
+  for (const auto& info : Table2Circuits()) {
+    std::cout << "  " << info.spec.name << "  (" << info.spec.num_inputs
+              << "/" << info.spec.num_outputs << " I/O, ~" << info.paper_gates
+              << " gates in the paper)\n";
+  }
+  return 0;
+}
+
+int CmdGen(std::vector<std::string> args) {
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli gen <name> [--blif <path>]\n";
+    return 2;
+  }
+  const auto blif_path = GetFlag(args, "--blif");
+  const Network net = LoadCircuit(args[0]);
+  std::cout << net.name() << ": " << net.NumInputs() << " inputs, "
+            << net.NumOutputs() << " outputs, " << net.NumLogicNodes()
+            << " nodes, depth " << MaxLevel(net) << "\n";
+  if (blif_path) {
+    WriteBlifFile(net, *blif_path);
+    std::cout << "wrote " << *blif_path << "\n";
+  }
+  return 0;
+}
+
+int CmdSpcf(std::vector<std::string> args) {
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli spcf <circuit> [--guard <frac>] "
+                 "[--algo node|path|short]\n";
+    return 2;
+  }
+  const double guard = std::stod(GetFlag(args, "--guard").value_or("0.1"));
+  const std::string algo = GetFlag(args, "--algo").value_or("short");
+  const Network ti = LoadCircuit(args[0]);
+  const Library lib = Lsi10kLike();
+  const TechMapResult mapped = DecomposeAndMap(ti, lib);
+  const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+
+  SpcfOptions options;
+  options.guard_band = guard;
+  if (algo == "node") {
+    options.algorithm = SpcfAlgorithm::kNodeBased;
+  } else if (algo == "path") {
+    options.algorithm = SpcfAlgorithm::kPathBasedExtension;
+  } else if (algo == "short") {
+    options.algorithm = SpcfAlgorithm::kShortPathBased;
+  } else {
+    std::cerr << "unknown algorithm: " << algo << "\n";
+    return 2;
+  }
+  BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+  const SpcfResult r = ComputeSpcf(mgr, mapped.netlist, timing, options);
+
+  std::cout << ti.name() << ": Δ = " << timing.critical_delay
+            << ", target arrival = " << r.target_arrival << " ("
+            << ToString(options.algorithm) << ")\n"
+            << "critical outputs: " << r.critical_outputs.size() << " of "
+            << mapped.netlist.NumOutputs() << "\n";
+  for (std::size_t i : r.critical_outputs) {
+    std::cout << "  " << mapped.netlist.output(i).name << ": "
+              << FormatCount(mgr.SatCount(
+                     r.sigma[i], static_cast<int>(mapped.netlist.NumInputs())))
+              << " patterns\n";
+  }
+  std::cout << "union: " << FormatCount(r.critical_minterms) << " patterns ("
+            << r.runtime_seconds << " s)\n";
+  return 0;
+}
+
+int CmdFlow(std::vector<std::string> args) {
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli flow <circuit> [--guard <frac>] "
+                 "[--verilog <path>]\n";
+    return 2;
+  }
+  const double guard = std::stod(GetFlag(args, "--guard").value_or("0.1"));
+  const auto verilog_path = GetFlag(args, "--verilog");
+  const Network ti = LoadCircuit(args[0]);
+  const Library lib = Lsi10kLike();
+  FlowOptions options;
+  options.spcf.guard_band = guard;
+  const FlowResult r = RunMaskingFlow(ti, lib, options);
+  const OverheadReport& o = r.overheads;
+
+  std::cout << o.circuit << ": " << o.num_inputs << "/" << o.num_outputs
+            << " I/O, " << o.num_gates << " gates, Δ = "
+            << r.timing.critical_delay << "\n"
+            << "critical outputs : " << o.critical_outputs << "\n"
+            << "critical minterms: " << FormatCount(o.critical_minterms)
+            << "\n"
+            << "slack            : " << FormatPercent(o.slack_percent)
+            << "%\narea overhead    : " << FormatPercent(o.area_percent)
+            << "%\npower overhead   : " << FormatPercent(o.power_percent)
+            << "%\nsafety           : " << (o.safety ? "proved" : "FAILED")
+            << "\ncoverage         : "
+            << (o.coverage_100 ? "100% (proved)" : "FAILED") << "\n";
+  if (verilog_path) {
+    std::ofstream f(*verilog_path);
+    WriteVerilog(r.protected_circuit.netlist, f);
+    std::cout << "wrote protected netlist to " << *verilog_path << "\n";
+  }
+  return (o.safety && o.coverage_100) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli <list|gen|spcf|flow> ...\n";
+    return 2;
+  }
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  try {
+    if (cmd == "list") return CmdList();
+    if (cmd == "gen") return CmdGen(std::move(args));
+    if (cmd == "spcf") return CmdSpcf(std::move(args));
+    if (cmd == "flow") return CmdFlow(std::move(args));
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,81 @@
+// Wearout detection (paper Sec. 2.1): a protected circuit runs for "months"
+// while its worst-path gates slowly age. The masked-error events
+// e_i·(y_i ⊕ ỹ_i) are logged by the on-line monitor; their rising rate
+// predicts the onset of wearout while every error is still being masked —
+// the system can adapt (slow the clock, raise voltage) before anything
+// escapes.
+#include <iostream>
+
+#include "harness/flow.h"
+#include "liblib/lsi10k.h"
+#include "masking/indicator.h"
+#include "sim/event_sim.h"
+#include "sta/paths.h"
+#include "suite/structured.h"
+
+int main() {
+  using namespace sm;
+  const Library lib = Lsi10kLike();
+  const Network ti = RippleComparatorNetwork(8);
+  const FlowResult flow = RunMaskingFlow(ti, lib);
+  if (!flow.verification.ok()) {
+    std::cerr << "verification failed\n";
+    return 1;
+  }
+  const MappedNetlist& prot = flow.protected_circuit.netlist;
+  const double delta = flow.timing.critical_delay;
+  const double clock = delta + lib.ByNameOrThrow("MUX2")->max_delay();
+
+  std::cout << "== wearout monitor: " << ti.name() << " ==\n"
+            << "original Δ = " << delta << ", masking slack "
+            << flow.protected_circuit.SlackPercent() << "%, "
+            << flow.protected_circuit.taps.size()
+            << " protected output(s)\n\n"
+            << "month  aging(+%Δ)  exercised  masked-errs  rate      escaped\n"
+            << "---------------------------------------------------------------\n";
+
+  // The worst path's last gate ages ~0.45% of Δ per month (NBTI-style
+  // monotone drift).
+  const TimingPath worst = WorstPath(flow.original, flow.timing);
+  const GateId victim =
+      prot.FindByName(flow.original.element(worst.elements.back()).name);
+
+  bool onset_reported = false;
+  for (int month = 0; month <= 20; month += 2) {
+    const double aging = 0.0045 * month * delta;
+    EventSimConfig cfg;
+    cfg.clock = clock;
+    cfg.extra_delay.assign(prot.NumElements(), 0.0);
+    cfg.extra_delay[victim] = aging;
+
+    // The same pattern stream every month isolates the aging trend.
+    WearoutMonitor monitor(flow.protected_circuit, delta);
+    Rng rng(1000);
+    std::vector<bool> prev(prot.NumInputs(), false);
+    for (int cycle = 0; cycle < 3000; ++cycle) {
+      std::vector<bool> next(prot.NumInputs());
+      for (std::size_t v = 0; v < next.size(); ++v) next[v] = rng.Chance(0.5);
+      monitor.Record(SimulateTransition(prot, prev, next, cfg));
+      prev = next;
+    }
+    const auto& s = monitor.stats();
+    std::printf("%5d  %9.2f%%  %9llu  %11llu  %.5f  %7llu\n", month,
+                100.0 * aging / delta,
+                static_cast<unsigned long long>(s.exercised),
+                static_cast<unsigned long long>(s.masked_errors),
+                s.MaskedErrorRate(),
+                static_cast<unsigned long long>(s.unmasked_errors));
+    if (s.unmasked_errors != 0) {
+      std::cerr << "an error escaped a protected output!\n";
+      return 1;
+    }
+    if (!onset_reported && s.MaskedErrorRate() > 1e-4) {
+      std::cout << "       ^^^ masked-error rate above threshold: wearout "
+                   "onset predicted; schedule adaptation\n";
+      onset_reported = true;
+    }
+  }
+  std::cout << "\nall aging-induced speed-path errors were masked; the "
+               "monitor saw the onset months before anything escaped.\n";
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+// Unique/cache keys pack (var, lo, hi) into 64 bits: 12 + 26 + 26.
+constexpr std::uint32_t kMaxVarIndex = (1u << 12) - 1;
+constexpr std::size_t kMaxNodes = (std::size_t{1} << 26) - 1;
+constexpr std::size_t kIteCacheSize = std::size_t{1} << 20;
+
+std::uint64_t Mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+BddManager::BddManager(int num_vars, std::size_t node_limit)
+    : num_vars_(num_vars),
+      node_limit_(std::min(node_limit, kMaxNodes)),
+      ite_cache_(kIteCacheSize) {
+  SM_REQUIRE(num_vars >= 0 && num_vars <= static_cast<int>(kMaxVarIndex),
+             "BDD variable count out of range: " << num_vars);
+  // Terminals occupy slots 0 (false) and 1 (true) with a sentinel var index
+  // greater than any real variable, simplifying TopVar comparisons.
+  nodes_.push_back(Node{kMaxVarIndex + 0u, 0, 0});
+  nodes_.push_back(Node{kMaxVarIndex + 0u, 1, 1});
+}
+
+std::uint64_t BddManager::UniqueKey(std::uint32_t var, Ref lo, Ref hi) {
+  return (static_cast<std::uint64_t>(var) << 52) |
+         (static_cast<std::uint64_t>(lo) << 26) | hi;
+}
+
+std::uint64_t BddManager::CacheKey(Ref f, Ref g, Ref h) {
+  return Mix((static_cast<std::uint64_t>(f) << 38) ^
+             (static_cast<std::uint64_t>(g) << 19) ^ h ^
+             (static_cast<std::uint64_t>(h) << 44));
+}
+
+BddManager::Ref BddManager::MakeNode(std::uint32_t var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key = UniqueKey(var, lo, hi);
+  auto [it, inserted] = unique_.try_emplace(key, 0);
+  if (!inserted) return it->second;
+  if (nodes_.size() >= node_limit_) {
+    unique_.erase(it);
+    throw BddOverflowError("BDD node limit exceeded (" +
+                           std::to_string(node_limit_) + ")");
+  }
+  const Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  it->second = ref;
+  return ref;
+}
+
+BddManager::Ref BddManager::Var(int var) {
+  SM_REQUIRE(var >= 0 && var < num_vars_, "BDD variable out of range");
+  return MakeNode(static_cast<std::uint32_t>(var), kFalse, kTrue);
+}
+
+BddManager::Ref BddManager::NotVar(int var) {
+  SM_REQUIRE(var >= 0 && var < num_vars_, "BDD variable out of range");
+  return MakeNode(static_cast<std::uint32_t>(var), kTrue, kFalse);
+}
+
+BddManager::Ref BddManager::Not(Ref f) { return IteRec(f, kFalse, kTrue); }
+
+BddManager::Ref BddManager::And(Ref f, Ref g) { return IteRec(f, g, kFalse); }
+
+BddManager::Ref BddManager::Or(Ref f, Ref g) { return IteRec(f, kTrue, g); }
+
+BddManager::Ref BddManager::Xor(Ref f, Ref g) {
+  return IteRec(f, IteRec(g, kFalse, kTrue), g);
+}
+
+BddManager::Ref BddManager::Ite(Ref f, Ref g, Ref h) {
+  SM_REQUIRE(f < nodes_.size() && g < nodes_.size() && h < nodes_.size(),
+             "Ite operand is not a node of this manager");
+  return IteRec(f, g, h);
+}
+
+BddManager::Ref BddManager::IteRec(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = CacheKey(f, g, h);
+  CacheEntry& slot = ite_cache_[key & (kIteCacheSize - 1)];
+  if (slot.f == f && slot.g == g && slot.h == h) return slot.result;
+
+  const std::uint32_t vf = nodes_[f].var;
+  const std::uint32_t vg = nodes_[g].var;
+  const std::uint32_t vh = nodes_[h].var;
+  const std::uint32_t top = std::min({vf, vg, vh});
+  SM_CHECK(top <= kMaxVarIndex, "ITE reached terminals unexpectedly");
+
+  const Ref f0 = vf == top ? nodes_[f].lo : f;
+  const Ref f1 = vf == top ? nodes_[f].hi : f;
+  const Ref g0 = vg == top ? nodes_[g].lo : g;
+  const Ref g1 = vg == top ? nodes_[g].hi : g;
+  const Ref h0 = vh == top ? nodes_[h].lo : h;
+  const Ref h1 = vh == top ? nodes_[h].hi : h;
+
+  const Ref lo = IteRec(f0, g0, h0);
+  const Ref hi = IteRec(f1, g1, h1);
+  const Ref result = MakeNode(top, lo, hi);
+
+  slot.f = f;
+  slot.g = g;
+  slot.h = h;
+  slot.result = result;
+  return result;
+}
+
+BddManager::Ref BddManager::Cofactor(Ref f, int var, bool value) {
+  SM_REQUIRE(var >= 0 && var < num_vars_, "BDD variable out of range");
+  std::unordered_map<Ref, Ref> memo;
+  // Compose with a constant is exactly the cofactor.
+  return ComposeRec(f, var, value ? kTrue : kFalse, memo);
+}
+
+BddManager::Ref BddManager::Exists(Ref f, std::vector<int> vars) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  for (int v : vars) {
+    SM_REQUIRE(v >= 0 && v < num_vars_, "BDD variable out of range");
+  }
+  std::unordered_map<Ref, Ref> memo;
+  return ExistsRec(f, vars, memo);
+}
+
+BddManager::Ref BddManager::ExistsRec(Ref f, const std::vector<int>& vars,
+                                      std::unordered_map<Ref, Ref>& memo) {
+  if (IsConst(f)) return f;
+  const auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+
+  // Copy the node: recursion below may grow nodes_ and invalidate refs.
+  const Node n = nodes_[f];
+  const bool quantified =
+      std::binary_search(vars.begin(), vars.end(), static_cast<int>(n.var));
+  const Ref lo = ExistsRec(n.lo, vars, memo);
+  const Ref hi = ExistsRec(n.hi, vars, memo);
+  const Ref result =
+      quantified ? IteRec(lo, kTrue, hi) : MakeNode(n.var, lo, hi);
+  memo.emplace(f, result);
+  return result;
+}
+
+BddManager::Ref BddManager::Compose(Ref f, int var, Ref g) {
+  SM_REQUIRE(var >= 0 && var < num_vars_, "BDD variable out of range");
+  std::unordered_map<Ref, Ref> memo;
+  return ComposeRec(f, var, g, memo);
+}
+
+BddManager::Ref BddManager::ComposeRec(Ref f, int var, Ref g,
+                                       std::unordered_map<Ref, Ref>& memo) {
+  if (IsConst(f)) return f;
+  // Copy the node: recursion below may grow nodes_ and invalidate refs.
+  const Node n = nodes_[f];
+  if (static_cast<int>(n.var) > var) return f;  // var cannot occur below
+  const auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+
+  Ref result;
+  if (static_cast<int>(n.var) == var) {
+    result = IteRec(g, n.hi, n.lo);
+  } else {
+    const Ref lo = ComposeRec(n.lo, var, g, memo);
+    const Ref hi = ComposeRec(n.hi, var, g, memo);
+    // Rebuild with ITE: g may contain variables ordered above n.var.
+    result = IteRec(MakeNode(n.var, kFalse, kTrue), hi, lo);
+  }
+  memo.emplace(f, result);
+  return result;
+}
+
+double BddManager::SatFraction(Ref f) {
+  std::unordered_map<Ref, double> memo;
+  return SatFractionRec(f, memo);
+}
+
+double BddManager::SatFractionRec(
+    Ref f, std::unordered_map<Ref, double>& memo) const {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  const auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node& n = nodes_[f];
+  const double d =
+      0.5 * (SatFractionRec(n.lo, memo) + SatFractionRec(n.hi, memo));
+  memo.emplace(f, d);
+  return d;
+}
+
+double BddManager::SatCount(Ref f, int over_vars) {
+  if (over_vars < 0) over_vars = num_vars_;
+  SM_REQUIRE(over_vars >= 0, "SatCount variable count must be non-negative");
+  const double frac = SatFraction(f);
+  if (frac == 0.0) return 0.0;
+  return frac * std::exp2(static_cast<double>(over_vars));
+}
+
+double BddManager::Log2SatCount(Ref f, int over_vars) {
+  if (over_vars < 0) over_vars = num_vars_;
+  const double frac = SatFraction(f);
+  if (frac == 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log2(frac) + static_cast<double>(over_vars);
+}
+
+std::vector<std::pair<int, bool>> BddManager::SatOne(Ref f) const {
+  SM_REQUIRE(f != kFalse, "SatOne on the empty function");
+  std::vector<std::pair<int, bool>> out;
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      out.emplace_back(static_cast<int>(n.var), true);
+      f = n.hi;
+    } else {
+      out.emplace_back(static_cast<int>(n.var), false);
+      f = n.lo;
+    }
+  }
+  return out;
+}
+
+std::vector<int> BddManager::Support(Ref f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> in_support(static_cast<std::size_t>(num_vars_), false);
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (IsConst(r) || seen[r]) continue;
+    seen[r] = true;
+    in_support[nodes_[r].var] = true;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  std::vector<int> out;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (in_support[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+bool BddManager::Eval(Ref f, const std::vector<bool>& values) const {
+  SM_REQUIRE(static_cast<int>(values.size()) >= num_vars_,
+             "Eval needs one value per variable");
+  while (!IsConst(f)) {
+    const Node& n = nodes_[f];
+    f = values[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+int BddManager::TopVar(Ref f) const {
+  SM_REQUIRE(!IsConst(f), "TopVar on a terminal");
+  return static_cast<int>(nodes_[f].var);
+}
+
+BddManager::Ref BddManager::Low(Ref f) const {
+  SM_REQUIRE(!IsConst(f), "Low on a terminal");
+  return nodes_[f].lo;
+}
+
+BddManager::Ref BddManager::High(Ref f) const {
+  SM_REQUIRE(!IsConst(f), "High on a terminal");
+  return nodes_[f].hi;
+}
+
+std::size_t BddManager::DagSize(Ref f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<Ref> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    if (!IsConst(r)) {
+      stack.push_back(nodes_[r].lo);
+      stack.push_back(nodes_[r].hi);
+    }
+  }
+  return count;
+}
+
+}  // namespace sm

@@ -1,0 +1,126 @@
+// Reduced ordered binary decision diagrams.
+//
+// speedmask uses BDDs for all *global* (primary-input-space) reasoning: the
+// timed characteristic functions of Sec. 3, SPCF minterm counting, cube
+// essential weights and the formal safety/coverage checks of Sec. 4. The
+// manager is deliberately simple — no complement edges, no garbage
+// collection — nodes are interned for the manager's lifetime and a hard node
+// limit turns pathological growth into a typed exception rather than an OOM.
+//
+// Variable order equals variable index (0 at the root). Callers choose the
+// index order; the network layer assigns PI indices in declaration order,
+// which matches the generator's locality and keeps BDDs compact.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sm {
+
+class BddOverflowError : public std::runtime_error {
+ public:
+  explicit BddOverflowError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class BddManager {
+ public:
+  using Ref = std::uint32_t;
+
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  explicit BddManager(int num_vars, std::size_t node_limit = 40'000'000);
+
+  int num_vars() const { return num_vars_; }
+
+  Ref False() const { return kFalse; }
+  Ref True() const { return kTrue; }
+  Ref Var(int var);
+  Ref NotVar(int var);
+
+  Ref Not(Ref f);
+  Ref And(Ref f, Ref g);
+  Ref Or(Ref f, Ref g);
+  Ref Xor(Ref f, Ref g);
+  Ref Xnor(Ref f, Ref g) { return Not(Xor(f, g)); }
+  // f & ~g.
+  Ref Diff(Ref f, Ref g) { return And(f, Not(g)); }
+  Ref Ite(Ref f, Ref g, Ref h);
+
+  bool Implies(Ref f, Ref g) { return Diff(f, g) == kFalse; }
+
+  Ref Cofactor(Ref f, int var, bool value);
+  // Existential quantification over `vars` (ascending or not; sorted inside).
+  Ref Exists(Ref f, std::vector<int> vars);
+  // Substitutes `g` for variable `var` in `f`.
+  Ref Compose(Ref f, int var, Ref g);
+
+  bool IsConst(Ref f) const { return f <= kTrue; }
+
+  // Fraction of the 2^num_vars minterm space satisfying f, in [0, 1].
+  double SatFraction(Ref f);
+  // Number of satisfying minterms over `over_vars` variables (defaults to
+  // the manager width). Exact up to double precision; saturates at +inf only
+  // beyond 2^1023.
+  double SatCount(Ref f, int over_vars = -1);
+  // log2 of the satisfying-minterm count; -inf for the empty function.
+  double Log2SatCount(Ref f, int over_vars = -1);
+
+  // One satisfying assignment as (var, value) pairs for the variables on the
+  // chosen path; requires f != False.
+  std::vector<std::pair<int, bool>> SatOne(Ref f) const;
+
+  std::vector<int> Support(Ref f) const;
+
+  // Evaluates f under a full assignment (values[i] = variable i).
+  bool Eval(Ref f, const std::vector<bool>& values) const;
+
+  // Structural accessors for external traversals. Requires !IsConst(f).
+  int TopVar(Ref f) const;
+  Ref Low(Ref f) const;
+  Ref High(Ref f) const;
+
+  // Nodes interned so far (including the two terminals).
+  std::size_t NumNodes() const { return nodes_.size(); }
+  // Nodes reachable from f.
+  std::size_t DagSize(Ref f) const;
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    Ref lo;
+    Ref hi;
+  };
+
+  // Direct-mapped lossy cache. The full operand triple is stored and
+  // compared — a hash-only key would make hash collisions return wrong
+  // results.
+  struct CacheEntry {
+    Ref f = ~Ref{0};
+    Ref g = 0;
+    Ref h = 0;
+    Ref result = 0;
+  };
+
+  Ref MakeNode(std::uint32_t var, Ref lo, Ref hi);
+  Ref IteRec(Ref f, Ref g, Ref h);
+  Ref ExistsRec(Ref f, const std::vector<int>& vars,
+                std::unordered_map<Ref, Ref>& memo);
+  Ref ComposeRec(Ref f, int var, Ref g, std::unordered_map<Ref, Ref>& memo);
+  double SatFractionRec(Ref f, std::unordered_map<Ref, double>& memo) const;
+
+  static std::uint64_t UniqueKey(std::uint32_t var, Ref lo, Ref hi);
+  static std::uint64_t CacheKey(Ref f, Ref g, Ref h);
+
+  int num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;
+  std::vector<CacheEntry> ite_cache_;
+};
+
+}  // namespace sm

@@ -1,0 +1,61 @@
+#include "bdd/bdd_util.h"
+
+#include "util/check.h"
+
+namespace sm {
+
+BddManager::Ref CubeToBdd(BddManager& mgr, const Cube& cube,
+                          const std::vector<BddManager::Ref>& inputs) {
+  if (cube.IsContradictory()) return mgr.False();
+  BddManager::Ref out = mgr.True();
+  for (int v = 0; v < static_cast<int>(inputs.size()); ++v) {
+    if (!cube.HasVar(v)) continue;
+    const BddManager::Ref lit =
+        cube.VarPhase(v) ? inputs[static_cast<std::size_t>(v)]
+                         : mgr.Not(inputs[static_cast<std::size_t>(v)]);
+    out = mgr.And(out, lit);
+    if (out == mgr.False()) break;
+  }
+  return out;
+}
+
+BddManager::Ref SopToBdd(BddManager& mgr, const Sop& sop,
+                         const std::vector<BddManager::Ref>& inputs) {
+  SM_REQUIRE(static_cast<int>(inputs.size()) >= sop.num_vars(),
+             "SopToBdd needs one input BDD per variable");
+  BddManager::Ref out = mgr.False();
+  for (const Cube& c : sop.cubes()) {
+    out = mgr.Or(out, CubeToBdd(mgr, c, inputs));
+    if (out == mgr.True()) break;
+  }
+  return out;
+}
+
+namespace {
+
+BddManager::Ref TruthTableToBddRec(BddManager& mgr, const TruthTable& tt,
+                                   const std::vector<BddManager::Ref>& inputs,
+                                   int var) {
+  if (tt.IsConst0()) return mgr.False();
+  if (tt.IsConst1()) return mgr.True();
+  SM_CHECK(var >= 0, "non-constant table exhausted its variables");
+  if (!tt.DependsOn(var)) {
+    return TruthTableToBddRec(mgr, tt, inputs, var - 1);
+  }
+  const BddManager::Ref lo =
+      TruthTableToBddRec(mgr, tt.Cofactor(var, false), inputs, var - 1);
+  const BddManager::Ref hi =
+      TruthTableToBddRec(mgr, tt.Cofactor(var, true), inputs, var - 1);
+  return mgr.Ite(inputs[static_cast<std::size_t>(var)], hi, lo);
+}
+
+}  // namespace
+
+BddManager::Ref TruthTableToBdd(BddManager& mgr, const TruthTable& tt,
+                                const std::vector<BddManager::Ref>& inputs) {
+  SM_REQUIRE(static_cast<int>(inputs.size()) >= tt.num_vars(),
+             "TruthTableToBdd needs one input BDD per variable");
+  return TruthTableToBddRec(mgr, tt, inputs, tt.num_vars() - 1);
+}
+
+}  // namespace sm

@@ -1,0 +1,27 @@
+// Bridges between node-local Boolean objects (Cube / Sop / TruthTable over
+// fanin variables) and global BDDs (over primary inputs): the caller supplies
+// one global BDD per local variable and the helpers compose.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "boolean/sop.h"
+#include "boolean/truth_table.h"
+
+namespace sm {
+
+// AND of the cube's literals with local variable i replaced by inputs[i].
+BddManager::Ref CubeToBdd(BddManager& mgr, const Cube& cube,
+                          const std::vector<BddManager::Ref>& inputs);
+
+// OR over the cover's cubes.
+BddManager::Ref SopToBdd(BddManager& mgr, const Sop& sop,
+                         const std::vector<BddManager::Ref>& inputs);
+
+// Shannon expansion of a truth table with local variable i replaced by
+// inputs[i].
+BddManager::Ref TruthTableToBdd(BddManager& mgr, const TruthTable& tt,
+                                const std::vector<BddManager::Ref>& inputs);
+
+}  // namespace sm

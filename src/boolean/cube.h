@@ -1,0 +1,76 @@
+// Cube: a product term over up to 32 local variables.
+//
+// Technology-independent nodes in speedmask are bounded to <= kMaxCubeVars
+// fanins (the paper works with 10-15 input nodes), so a cube fits in two
+// 32-bit literal masks: bit i of `pos` means variable i appears positively,
+// bit i of `neg` means it appears negated. A variable in neither mask is
+// absent (don't care within the cube).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sm {
+
+inline constexpr int kMaxCubeVars = 32;
+
+class Cube {
+ public:
+  // The universal cube (no literals, covers everything).
+  Cube() = default;
+  Cube(std::uint32_t pos, std::uint32_t neg);
+
+  static Cube Universe() { return Cube(); }
+
+  // Single-literal cube: variable `var`, positive if `phase`.
+  static Cube Literal(int var, bool phase);
+
+  // Cube matching exactly one minterm over `num_vars` variables.
+  static Cube Minterm(std::uint32_t minterm, int num_vars);
+
+  std::uint32_t pos() const { return pos_; }
+  std::uint32_t neg() const { return neg_; }
+
+  bool IsUniverse() const { return pos_ == 0 && neg_ == 0; }
+
+  // True when the cube asserts both x and x̄ for some variable; such a cube
+  // covers nothing. Constructible only through Intersect.
+  bool IsContradictory() const { return (pos_ & neg_) != 0; }
+
+  int NumLiterals() const;
+
+  bool HasVar(int var) const;
+  // Phase of `var` in this cube; requires HasVar(var).
+  bool VarPhase(int var) const;
+
+  // Adds / replaces a literal.
+  Cube WithLiteral(int var, bool phase) const;
+  // Removes a variable's literal if present.
+  Cube WithoutVar(int var) const;
+
+  // True when the minterm (bit i = value of variable i) satisfies the cube.
+  bool CoversMinterm(std::uint32_t minterm) const;
+
+  // True when every minterm of `other` is covered by this cube
+  // (i.e. other ⇒ this). Contradictory operands are handled: the empty cube
+  // is contained in everything.
+  bool Contains(const Cube& other) const;
+
+  // Product of two cubes; may be contradictory.
+  Cube Intersect(const Cube& other) const;
+
+  // True when the two cubes share no minterm.
+  bool DisjointFrom(const Cube& other) const;
+
+  bool operator==(const Cube& other) const = default;
+
+  // "ab'c-" style rendering over num_vars variables (a, b, c, ...; beyond 26
+  // variables falls back to x12 names).
+  std::string ToString(int num_vars) const;
+
+ private:
+  std::uint32_t pos_ = 0;
+  std::uint32_t neg_ = 0;
+};
+
+}  // namespace sm

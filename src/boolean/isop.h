@@ -1,0 +1,27 @@
+// Minato–Morreale irredundant sum-of-products.
+//
+// Isop(on, dc) returns a cover F with on ⊆ F ⊆ on ∪ dc in which no cube and
+// no literal is redundant. This is the exact two-level engine used for the
+// on-set and off-set covers that Sec. 4's masking synthesis prunes.
+#pragma once
+
+#include "boolean/sop.h"
+#include "boolean/truth_table.h"
+
+namespace sm {
+
+// Requires on & dc == 0 is NOT required (dc may overlap on); the effective
+// bounds are L = on & ~dc, U = on | dc.
+Sop Isop(const TruthTable& on, const TruthTable& dc);
+
+// Convenience: exact cover of the complement, Isop(~f, dc).
+Sop IsopComplement(const TruthTable& f, const TruthTable& dc);
+
+// All prime implicants of f, by exhaustive cube enumeration — exponential in
+// the variable count, intended for library-cell functions (<= ~8 inputs).
+// The exact SPCF recursion (Eqn. 1 of the paper) quantifies over *all*
+// primes of each gate's on-set and off-set, so an irredundant cover is not
+// enough there.
+Sop AllPrimes(const TruthTable& f);
+
+}  // namespace sm

@@ -1,0 +1,82 @@
+#include "boolean/two_level.h"
+
+#include <algorithm>
+
+#include "boolean/isop.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+// Removes literals from `cube` while it stays disjoint from the off-set.
+// Literal removal order: ascending variable index (deterministic).
+Cube ExpandCube(Cube cube, const TruthTable& off, int num_vars) {
+  for (int v = 0; v < num_vars; ++v) {
+    if (!cube.HasVar(v)) continue;
+    const Cube candidate = cube.WithoutVar(v);
+    const TruthTable cand_tt = TruthTable::FromCube(candidate, num_vars);
+    if ((cand_tt & off).IsConst0()) cube = candidate;
+  }
+  return cube;
+}
+
+}  // namespace
+
+Sop MinimizeTwoLevel(const Sop& cover, const TruthTable& on,
+                     const TruthTable& dc, const TwoLevelOptions& options) {
+  const int n = cover.num_vars();
+  SM_REQUIRE(on.num_vars() == n && dc.num_vars() == n,
+             "bounds/cover variable count mismatch");
+  SM_REQUIRE(n <= kMaxTruthVars, "two-level minimization input too wide");
+
+  const TruthTable lower = on & ~dc;
+  const TruthTable upper = on | dc;
+  const TruthTable off = ~upper;
+  SM_REQUIRE(lower.Implies(cover.ToTruthTable()) &&
+                 cover.ToTruthTable().Implies(upper),
+             "input cover violates its bounds");
+
+  // EXPAND: grow every cube maximally against the off-set. Bigger cubes
+  // first tend to absorb more of the cover.
+  std::vector<Cube> cubes = cover.cubes();
+  std::stable_sort(cubes.begin(), cubes.end(),
+                   [](const Cube& a, const Cube& b) {
+                     return a.NumLiterals() < b.NumLiterals();
+                   });
+  for (Cube& c : cubes) c = ExpandCube(c, off, n);
+
+  // IRREDUNDANT: greedily drop cubes whose on-set minterms are covered by the
+  // rest of the cover. Iterate from the largest (most-literal) cube so small
+  // expanded cubes survive.
+  std::vector<bool> keep(cubes.size(), true);
+  auto cover_without = [&](std::size_t skip) {
+    TruthTable t = TruthTable::Const0(n);
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      if (!keep[i] || i == skip) continue;
+      t = t | TruthTable::FromCube(cubes[i], n);
+    }
+    return t;
+  };
+  for (std::size_t i = cubes.size(); i-- > 0;) {
+    const TruthTable rest = cover_without(i);
+    if (lower.Implies(rest)) keep[i] = false;
+  }
+
+  Sop out(n);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (keep[i]) out.AddCube(cubes[i]);
+  }
+  if (options.final_containment) out.RemoveContainedCubes();
+
+  const TruthTable result_tt = out.ToTruthTable();
+  SM_CHECK(lower.Implies(result_tt) && result_tt.Implies(upper),
+           "two-level minimization broke the functional bounds");
+  return out;
+}
+
+Sop MinimizeFunction(const TruthTable& on) {
+  const TruthTable dc = TruthTable::Const0(on.num_vars());
+  return MinimizeTwoLevel(Isop(on, dc), on, dc);
+}
+
+}  // namespace sm

@@ -1,0 +1,28 @@
+// Espresso-style heuristic two-level minimization (exact at truth-table
+// scale): EXPAND each cube against the off-set, then make the cover
+// IRREDUNDANT. Used to clean node covers after masking-synthesis surgery so
+// that the error-masking network maps small.
+#pragma once
+
+#include "boolean/sop.h"
+#include "boolean/truth_table.h"
+
+namespace sm {
+
+struct TwoLevelOptions {
+  // When true, after expand/irredundant a final containment sweep runs.
+  bool final_containment = true;
+};
+
+// Minimizes `cover` under the flexibility on ⊆ F ⊆ on ∪ dc, where on/dc are
+// given as truth tables. The returned cover's function F satisfies the
+// bounds; typically it has fewer cubes/literals than the input. The input
+// cover must itself satisfy the bounds.
+Sop MinimizeTwoLevel(const Sop& cover, const TruthTable& on,
+                     const TruthTable& dc,
+                     const TwoLevelOptions& options = {});
+
+// Convenience: minimize a completely specified function from scratch.
+Sop MinimizeFunction(const TruthTable& on);
+
+}  // namespace sm

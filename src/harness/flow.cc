@@ -1,0 +1,65 @@
+#include "harness/flow.h"
+
+#include "map/mapped_bdd.h"
+#include "network/global_bdd.h"
+#include "util/check.h"
+
+namespace sm {
+
+FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
+                                   const Network& ti, const Library& lib,
+                                   const FlowOptions& options) {
+  SM_REQUIRE(original.NumInputs() == ti.NumInputs() &&
+                 original.NumOutputs() == ti.NumOutputs(),
+             "mapped circuit and technology-independent network must share "
+             "the PI/PO interface");
+  FlowResult r{std::make_unique<BddManager>(static_cast<int>(ti.NumInputs()),
+                                            options.bdd_node_limit),
+               original,
+               TimingInfo{},
+               SpcfResult{},
+               MaskingCircuit{Network(""), {}, 0, 0, 0, 0, 0},
+               ProtectedCircuit{MappedNetlist(""), {}, 0, 0, 0, 0},
+               MaskingVerification{},
+               OverheadReport{}};
+  r.timing = AnalyzeTiming(r.original);
+
+  // 2. SPCF over the mapped gates.
+  std::vector<GateId> groots;
+  for (const auto& o : r.original.outputs()) groots.push_back(o.driver);
+  const auto mapped_globals = BuildMappedGlobalBdds(*r.mgr, r.original, groots);
+  TimedFunctionEngine engine(*r.mgr, r.original, mapped_globals);
+  r.spcf = ComputeSpcf(engine, r.original, r.timing, options.spcf);
+
+  // 3. Masking synthesis over the technology-independent network.
+  std::vector<NodeId> troots;
+  for (const auto& o : ti.outputs()) troots.push_back(o.driver);
+  const auto ti_globals = BuildGlobalBdds(*r.mgr, ti, troots);
+  r.masking = SynthesizeMaskingNetwork(*r.mgr, ti, ti_globals, r.spcf,
+                                       options.synth);
+
+  // 4. Delay-mode mapping + output muxes.
+  r.protected_circuit =
+      IntegrateMasking(r.original, r.masking, lib, options.integrate);
+
+  // 5. Formal verification and Table-2 accounting.
+  r.verification =
+      VerifyMasking(*r.mgr, ti, ti_globals, r.masking, r.spcf);
+  r.overheads = ComputeOverheads(r.original, r.protected_circuit,
+                                 options.power_seed, options.power_words);
+  r.overheads.critical_minterms = r.spcf.critical_minterms;
+  r.overheads.log2_critical_minterms = r.spcf.log2_critical_minterms;
+  r.overheads.coverage_100 =
+      r.verification.coverage && r.verification.coverage_fraction >= 1.0;
+  r.overheads.safety = r.verification.safety;
+  return r;
+}
+
+FlowResult RunMaskingFlow(const Network& ti, const Library& lib,
+                          const FlowOptions& options) {
+  // Map the original circuit (the paper's C), then run the common flow.
+  const TechMapResult mapped = DecomposeAndMap(ti, lib, options.original_map);
+  return RunMaskingFlowPremapped(mapped.netlist, ti, lib, options);
+}
+
+}  // namespace sm

@@ -1,0 +1,57 @@
+// End-to-end flow driver: technology-independent circuit in, Table-2 row
+// out. Mirrors the paper's flow:
+//
+//   map (area mode) → STA → SPCF (Sec. 3) → masking synthesis (Sec. 4) →
+//   delay-mode mapping + mux integration (Fig. 1) → formal verification →
+//   area/power/slack accounting.
+#pragma once
+
+#include <memory>
+
+#include "liblib/library.h"
+#include "masking/integrate.h"
+#include "masking/report.h"
+#include "masking/synth.h"
+#include "masking/verify.h"
+#include "spcf/spcf.h"
+
+namespace sm {
+
+struct FlowOptions {
+  SpcfOptions spcf;
+  MaskingSynthOptions synth;
+  IntegrateOptions integrate;
+  TechMapOptions original_map;  // defaults to area mode
+  std::uint64_t power_seed = 12345;
+  int power_words = 64;
+  std::size_t bdd_node_limit = 8'000'000;
+};
+
+struct FlowResult {
+  // The manager owns every BDD ref below; it is listed first and destroyed
+  // last.
+  std::unique_ptr<BddManager> mgr;
+
+  MappedNetlist original;
+  TimingInfo timing;
+  SpcfResult spcf;
+  MaskingCircuit masking;
+  ProtectedCircuit protected_circuit;
+  MaskingVerification verification;
+  OverheadReport overheads;
+};
+
+// `lib` must outlive the result. Throws BddOverflowError when the circuit's
+// global functions exceed the node limit.
+FlowResult RunMaskingFlow(const Network& ti, const Library& lib,
+                          const FlowOptions& options = {});
+
+// Variant for an existing mapped implementation: `original` is used as the
+// circuit C (its timing defines the speed-paths) and `ti` is the
+// technology-independent source the masking network is synthesized from.
+// The two must implement the same functions over the same PI/PO order.
+FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
+                                   const Network& ti, const Library& lib,
+                                   const FlowOptions& options = {});
+
+}  // namespace sm

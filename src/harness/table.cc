@@ -1,0 +1,38 @@
+#include "harness/table.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace sm {
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<Column> columns)
+    : out_(out), columns_(std::move(columns)) {
+  SM_REQUIRE(!columns_.empty(), "table needs columns");
+}
+
+void TablePrinter::PrintHeader() {
+  std::vector<std::string> cells;
+  cells.reserve(columns_.size());
+  for (const Column& c : columns_) cells.push_back(c.header);
+  PrintRow(cells);
+  PrintSeparator();
+}
+
+void TablePrinter::PrintSeparator() {
+  for (const Column& c : columns_) {
+    out_ << std::string(static_cast<std::size_t>(c.width) + 2, '-');
+  }
+  out_ << '\n';
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) {
+  SM_REQUIRE(cells.size() == columns_.size(), "cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << std::setw(columns_[i].width) << cells[i] << "  ";
+  }
+  out_ << '\n';
+}
+
+}  // namespace sm

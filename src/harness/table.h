@@ -1,0 +1,29 @@
+// Fixed-width table printing for the bench binaries (Table 1 / Table 2
+// style output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sm {
+
+class TablePrinter {
+ public:
+  struct Column {
+    std::string header;
+    int width;
+  };
+
+  TablePrinter(std::ostream& out, std::vector<Column> columns);
+
+  void PrintHeader();
+  void PrintSeparator();
+  void PrintRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace sm

@@ -1,0 +1,52 @@
+// Standard-cell model.
+//
+// The paper's flow maps circuits with Synopsys DC onto the lsi_10k library;
+// we model the properties the experiments consume: a cell's Boolean function,
+// area, per-pin pin-to-output delay, and switching energy (for the dynamic
+// power overhead columns of Table 2). Delays are load-independent — the same
+// fixed-delay abstraction the paper's worked example uses (inverter 1 unit,
+// 2-input gates 2 units).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "boolean/sop.h"
+#include "boolean/truth_table.h"
+
+namespace sm {
+
+class Cell {
+ public:
+  Cell(std::string name, TruthTable function, double area,
+       std::vector<double> pin_delays, double switch_energy);
+
+  const std::string& name() const { return name_; }
+  int num_pins() const { return function_.num_vars(); }
+  const TruthTable& function() const { return function_; }
+  double area() const { return area_; }
+  double pin_delay(int pin) const;
+  double max_delay() const;
+  double switch_energy() const { return switch_energy_; }
+
+  // Prime-implicant covers of the on-set and off-set — the P set of Eqn. 1.
+  // Computed lazily on first use and cached.
+  const Sop& OnSetPrimes() const;
+  const Sop& OffSetPrimes() const;
+
+  bool IsConstant() const { return num_pins() == 0; }
+  bool IsInverter() const;
+  bool IsBuffer() const;
+
+ private:
+  std::string name_;
+  TruthTable function_;
+  double area_;
+  std::vector<double> pin_delays_;
+  double switch_energy_;
+  mutable Sop on_primes_;
+  mutable Sop off_primes_;
+  mutable bool primes_ready_ = false;
+};
+
+}  // namespace sm

@@ -1,0 +1,51 @@
+// Cell library: an immutable, owning collection of cells with name lookup
+// and a small text format for custom libraries.
+//
+// Text format (one cell per line, '#' comments):
+//   cell <name> area=<a> energy=<e> delays=<d0,d1,...> func=<bits>
+// where <bits> is the 2^k truth-table bit string (minterm 0 first) over the
+// k pins implied by the delay list. Example 2-input NAND:
+//   cell ND2 area=2 energy=1.4 delays=1.4,1.4 func=1110
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liblib/cell.h"
+
+namespace sm {
+
+class Library {
+ public:
+  explicit Library(std::string name);
+
+  // Cells are stored at stable addresses; pointers remain valid for the
+  // library's lifetime.
+  const Cell* Add(Cell cell);
+
+  const std::string& name() const { return name_; }
+  std::size_t NumCells() const { return cells_.size(); }
+  const Cell* ByName(const std::string& name) const;  // nullptr when absent
+  const Cell* ByNameOrThrow(const std::string& name) const;
+
+  std::vector<const Cell*> AllCells() const;
+  // All cells with exactly `pins` pins.
+  std::vector<const Cell*> CellsWithPins(int pins) const;
+
+  // Smallest-area cell computing the requested 1/0 constant, or the smallest
+  // inverter/buffer; nullptr when the library lacks one.
+  const Cell* SmallestConstant(bool value) const;
+  const Cell* SmallestInverter() const;
+
+  int MaxPins() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+// Parses the text format described above.
+Library ParseLibrary(const std::string& name, const std::string& text);
+
+}  // namespace sm

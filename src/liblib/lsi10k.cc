@@ -1,0 +1,88 @@
+#include "liblib/lsi10k.h"
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+TruthTable Bits(const char* bits, int pins) {
+  return TruthTable::FromBits(bits, pins);
+}
+
+std::vector<double> Uniform(int pins, double delay) {
+  return std::vector<double>(static_cast<std::size_t>(pins), delay);
+}
+
+void AddCommonFunctions(Library& lib, bool unit_delay) {
+  // name, pins, bits, area, delay, energy — delay is overridden to the unit
+  // model (INV/BUF 1, 2-input 2, 3-input 3, 4-input 4) when unit_delay.
+  struct Row {
+    const char* name;
+    int pins;
+    const char* bits;
+    double area;
+    double delay;
+  };
+  const Row rows[] = {
+      {"INV", 1, "10", 1.0, 1.0},
+      {"BUF", 1, "01", 1.5, 1.2},
+      {"NAND2", 2, "1110", 2.0, 1.4},
+      {"NAND3", 3, "11111110", 3.0, 1.8},
+      {"NAND4", 4, "1111111111111110", 4.0, 2.2},
+      {"NOR2", 2, "1000", 2.0, 1.6},
+      {"NOR3", 3, "10000000", 3.0, 2.0},
+      {"NOR4", 4, "1000000000000000", 4.0, 2.4},
+      {"AND2", 2, "0001", 3.0, 1.8},
+      {"AND3", 3, "00000001", 4.0, 2.2},
+      {"AND4", 4, "0000000000000001", 5.0, 2.6},
+      {"OR2", 2, "0111", 3.0, 2.0},
+      {"OR3", 3, "01111111", 4.0, 2.4},
+      {"OR4", 4, "0111111111111111", 5.0, 2.8},
+      {"XOR2", 2, "0110", 5.0, 2.6},
+      {"XNOR2", 2, "1001", 5.0, 2.6},
+      // AOI21: ~((p0 & p1) | p2)
+      {"AOI21", 3, "11100000", 3.0, 2.0},
+      // AOI22: ~((p0 & p1) | (p2 & p3))
+      {"AOI22", 4, "1110111011100000", 4.0, 2.2},
+      // OAI21: ~((p0 | p1) & p2)
+      {"OAI21", 3, "11111000", 3.0, 2.0},
+      // OAI22: ~((p0 | p1) & (p2 | p3))
+      {"OAI22", 4, "1111100010001000", 4.0, 2.2},
+      // MUX2: p0 ? p2 : p1
+      {"MUX2", 3, "00100111", 5.0, 2.4},
+      // MAJ3: at least two of three
+      {"MAJ3", 3, "00010111", 6.0, 2.6},
+  };
+  for (const Row& r : rows) {
+    double delay = r.delay;
+    if (unit_delay) {
+      delay = r.pins <= 1 ? 1.0 : static_cast<double>(r.pins);
+      if (r.pins == 3 && (std::string(r.name) == "MUX2" ||
+                          std::string(r.name) == "AOI21" ||
+                          std::string(r.name) == "OAI21" ||
+                          std::string(r.name) == "MAJ3")) {
+        delay = 2.0;  // complex 3-pin gates count as 2-input-level gates
+      }
+    }
+    lib.Add(Cell(r.name, Bits(r.bits, r.pins), r.area,
+                 Uniform(r.pins, delay), 0.7 * r.area));
+  }
+  lib.Add(Cell("TIE0", TruthTable::Const0(0), 1.0, {}, 0.0));
+  lib.Add(Cell("TIE1", TruthTable::Const1(0), 1.0, {}, 0.0));
+}
+
+}  // namespace
+
+Library Lsi10kLike() {
+  Library lib("lsi10k_like");
+  AddCommonFunctions(lib, /*unit_delay=*/false);
+  return lib;
+}
+
+Library UnitLibrary() {
+  Library lib("unit");
+  AddCommonFunctions(lib, /*unit_delay=*/true);
+  return lib;
+}
+
+}  // namespace sm

@@ -1,0 +1,22 @@
+// Built-in libraries.
+//
+// Lsi10kLike(): an lsi_10k-flavoured generic library (the library the paper
+// maps with) — inverters, NAND/NOR/AND/OR up to 4 inputs, XOR/XNOR,
+// AOI/OAI complex gates, a 2-to-1 mux (used for the error-masking output
+// muxes), a 3-input majority, tie cells. Areas, delays and switching
+// energies are relative units chosen to track typical cell-complexity
+// ratios; the experiments only rely on ratios.
+//
+// UnitLibrary(): the didactic delay model of the paper's Sec. 4.2 worked
+// example — inverter delay 1, two-input gates delay 2 — used by the golden
+// comparator tests.
+#pragma once
+
+#include "liblib/library.h"
+
+namespace sm {
+
+Library Lsi10kLike();
+Library UnitLibrary();
+
+}  // namespace sm

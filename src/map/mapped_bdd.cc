@@ -1,0 +1,49 @@
+#include "map/mapped_bdd.h"
+
+#include "bdd/bdd_util.h"
+#include "util/check.h"
+
+namespace sm {
+
+std::vector<BddManager::Ref> BuildMappedGlobalBdds(
+    BddManager& mgr, const MappedNetlist& net,
+    const std::vector<GateId>& roots) {
+  SM_REQUIRE(mgr.num_vars() >= static_cast<int>(net.NumInputs()),
+             "BDD manager too narrow for this netlist");
+  // Mark the cone.
+  std::vector<bool> in_cone(net.NumElements(), false);
+  {
+    std::vector<GateId> stack(roots);
+    while (!stack.empty()) {
+      const GateId id = stack.back();
+      stack.pop_back();
+      if (in_cone[id]) continue;
+      in_cone[id] = true;
+      for (GateId f : net.fanins(id)) stack.push_back(f);
+    }
+  }
+  std::vector<BddManager::Ref> global(net.NumElements(), mgr.False());
+  for (GateId id = 0; id < net.NumElements(); ++id) {
+    if (!in_cone[id]) continue;
+    if (net.IsInput(id)) {
+      global[id] = mgr.Var(net.InputIndex(id));
+      continue;
+    }
+    const Cell& cell = net.cell(id);
+    std::vector<BddManager::Ref> pins;
+    pins.reserve(net.fanins(id).size());
+    for (GateId f : net.fanins(id)) pins.push_back(global[f]);
+    global[id] = TruthTableToBdd(mgr, cell.function(), pins);
+  }
+  return global;
+}
+
+std::vector<BddManager::Ref> BuildMappedGlobalBdds(BddManager& mgr,
+                                                   const MappedNetlist& net) {
+  std::vector<GateId> roots;
+  roots.reserve(net.NumElements());
+  for (GateId id = 0; id < net.NumElements(); ++id) roots.push_back(id);
+  return BuildMappedGlobalBdds(mgr, net, roots);
+}
+
+}  // namespace sm

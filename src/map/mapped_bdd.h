@@ -1,0 +1,22 @@
+// Global BDDs over the primary inputs of a mapped netlist (input i in
+// declaration order ↔ BDD variable i). Used by the SPCF engine (final-value
+// pruning) and by formal verification of the masking circuit.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "map/mapped_netlist.h"
+
+namespace sm {
+
+std::vector<BddManager::Ref> BuildMappedGlobalBdds(BddManager& mgr,
+                                                   const MappedNetlist& net);
+
+// Restricted to the transitive fanin of `roots`; untouched entries remain
+// BddManager::kFalse and must not be used.
+std::vector<BddManager::Ref> BuildMappedGlobalBdds(
+    BddManager& mgr, const MappedNetlist& net,
+    const std::vector<GateId>& roots);
+
+}  // namespace sm

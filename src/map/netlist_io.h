@@ -1,0 +1,38 @@
+// Mapped-netlist interchange:
+//  * structural Verilog writer (one cell instance per gate) for handoff to
+//    external tools / waveform viewers;
+//  * BLIF ".gate" reader/writer (the SIS/ABC mapped-netlist convention),
+//    round-trippable against a Library;
+//  * Graphviz DOT export for visualization.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liblib/library.h"
+#include "map/mapped_netlist.h"
+
+namespace sm {
+
+// Verilog: cells become module instances `CELL name (.p0(..), .p1(..), .Y(..))`
+// with pins named p<i> and output Y; a companion primitive library is
+// emitted alongside when `with_primitives` is set.
+void WriteVerilog(const MappedNetlist& net, std::ostream& out,
+                  bool with_primitives = true);
+std::string WriteVerilogString(const MappedNetlist& net,
+                               bool with_primitives = true);
+
+// BLIF with .gate lines: `.gate CELL p0=a p1=b Y=y`.
+void WriteMappedBlif(const MappedNetlist& net, std::ostream& out);
+std::string WriteMappedBlifString(const MappedNetlist& net);
+
+// Reads a .gate-style BLIF; every referenced cell must exist in `lib`
+// (which must outlive the result).
+MappedNetlist ReadMappedBlif(std::istream& in, const Library& lib);
+MappedNetlist ReadMappedBlifString(const std::string& text,
+                                   const Library& lib);
+
+// Graphviz DOT (digraph, one node per element).
+std::string WriteDotString(const MappedNetlist& net);
+
+}  // namespace sm

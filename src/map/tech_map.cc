@@ -1,0 +1,299 @@
+#include "map/tech_map.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "network/decompose.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+using Mode = TechMapOptions::Mode;
+
+struct Match {
+  const Cell* cell;
+  std::vector<int> perm;  // perm[pin] = leaf index the pin connects to
+};
+
+// Permutation-complete match table: truth-table bits -> matches.
+class MatchTable {
+ public:
+  MatchTable(const Library& lib, int max_leaves) {
+    for (const Cell* cell : lib.AllCells()) {
+      const int k = cell->num_pins();
+      if (k < 1 || k > max_leaves) continue;
+      std::vector<int> perm(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) perm[static_cast<std::size_t>(i)] = i;
+      std::sort(perm.begin(), perm.end());
+      do {
+        const std::string key = cell->function().Remap(perm, k).ToBits();
+        auto& bucket = table_[key];
+        // One permutation per (cell, key) suffices: pin delays are
+        // per-pin, so keep the first permutation found for each cell.
+        const bool seen = std::any_of(
+            bucket.begin(), bucket.end(),
+            [cell](const Match& m) { return m.cell == cell; });
+        if (!seen) bucket.push_back(Match{cell, perm});
+      } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+  }
+
+  const std::vector<Match>* Find(const std::string& bits) const {
+    const auto it = table_.find(bits);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<Match>> table_;
+};
+
+using Cut = std::vector<NodeId>;  // sorted leaf ids
+
+// Merges two sorted leaf sets; empty result signals overflow past k.
+Cut MergeCuts(const Cut& a, const Cut& b, int k) {
+  Cut out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  if (static_cast<int>(out.size()) > k) out.clear();
+  return out;
+}
+
+struct Choice {
+  const Cell* cell = nullptr;
+  Cut leaves;
+  std::vector<int> perm;
+  double cost = std::numeric_limits<double>::infinity();     // area flow
+  double arrival = std::numeric_limits<double>::infinity();  // delay mode
+};
+
+// Computes the function of `root` over cut `leaves` by local DFS.
+TruthTable CutFunction(const Network& net, NodeId root, const Cut& leaves) {
+  const int k = static_cast<int>(leaves.size());
+  std::unordered_map<NodeId, TruthTable> memo;
+  std::vector<NodeId> stack{root};
+  for (int i = 0; i < k; ++i) {
+    memo.emplace(leaves[static_cast<std::size_t>(i)], TruthTable::Var(i, k));
+  }
+  // Iterative post-order evaluation.
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    if (memo.count(n) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    SM_CHECK(net.kind(n) == NodeKind::kLogic,
+             "cut does not cover the cone (reached a free input)");
+    bool ready = true;
+    for (NodeId f : net.fanins(n)) {
+      if (memo.count(f) == 0) {
+        stack.push_back(f);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    const Sop& fn = net.function(n);
+    if (fn.num_vars() == 1) {  // inverter (buffers never survive decompose)
+      memo.emplace(n, ~memo.at(net.fanins(n)[0]));
+    } else {
+      memo.emplace(n, memo.at(net.fanins(n)[0]) & memo.at(net.fanins(n)[1]));
+    }
+  }
+  return memo.at(root);
+}
+
+}  // namespace
+
+TechMapResult TechMap(const Network& subject, const Library& lib,
+                      const TechMapOptions& options) {
+  SM_REQUIRE(IsAndInvNetwork(subject),
+             "TechMap requires an AND2/INV subject graph");
+  SM_REQUIRE(lib.SmallestInverter() != nullptr, "library lacks an inverter");
+  const int k = std::min({options.max_cut_leaves, lib.MaxPins(), 6});
+  SM_REQUIRE(k >= 2, "mapper needs cuts of at least 2 leaves");
+  const MatchTable matches(lib, k);
+
+  const std::size_t n = subject.NumNodes();
+  const auto& fanouts = subject.Fanouts();
+
+  // Leaf-only ids: primary inputs and constant nodes.
+  auto leaf_only = [&](NodeId id) {
+    return subject.kind(id) == NodeKind::kInput ||
+           subject.fanins(id).empty();
+  };
+
+  // --- cut enumeration + matching DP, one topological pass -------------
+  std::vector<std::vector<Cut>> cuts(n);
+  std::vector<Choice> best(n);
+  for (NodeId id = 0; id < n; ++id) {
+    cuts[id].push_back(Cut{id});  // trivial cut, used by fanouts
+    if (leaf_only(id)) continue;
+
+    const auto& fin = subject.fanins(id);
+    std::vector<Cut> mine;
+    if (fin.size() == 1) {
+      for (const Cut& c : cuts[fin[0]]) mine.push_back(c);
+    } else {
+      for (const Cut& ca : cuts[fin[0]]) {
+        for (const Cut& cb : cuts[fin[1]]) {
+          Cut m = MergeCuts(ca, cb, k);
+          if (!m.empty()) mine.push_back(m);
+        }
+      }
+    }
+    // Dedupe and prune: smaller cuts first, cap the list.
+    std::sort(mine.begin(), mine.end(),
+              [](const Cut& a, const Cut& b) {
+                return a.size() != b.size() ? a.size() < b.size() : a < b;
+              });
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    if (static_cast<int>(mine.size()) > options.max_cuts_per_node) {
+      mine.resize(static_cast<std::size_t>(options.max_cuts_per_node));
+    }
+    // The direct-fanin cut is the feasibility anchor (it always matches an
+    // AND2 or inverter); re-append it if pruning dropped it.
+    {
+      Cut direct(fin.begin(), fin.end());
+      std::sort(direct.begin(), direct.end());
+      direct.erase(std::unique(direct.begin(), direct.end()), direct.end());
+      if (std::find(mine.begin(), mine.end(), direct) == mine.end()) {
+        mine.push_back(std::move(direct));
+      }
+    }
+    // Publish the non-trivial cuts for fanouts (the trivial cut is already
+    // in place at the front).
+    cuts[id].insert(cuts[id].end(), mine.begin(), mine.end());
+
+    // DP over matches of each cut.
+    Choice& my = best[id];
+    for (const Cut& cut : mine) {
+      const TruthTable f = CutFunction(subject, id, cut);
+      // A constant cut function means the node is structurally constant
+      // (e.g. AND of a signal with its inverse); a tie cell realizes it.
+      if (f.IsConst0() || f.IsConst1()) {
+        const Cell* tie_cell = lib.SmallestConstant(f.IsConst1());
+        if (tie_cell != nullptr &&
+            (options.mode == Mode::kArea ? tie_cell->area() < my.cost
+                                         : 0.0 < my.arrival)) {
+          my = Choice{tie_cell, {}, {}, tie_cell->area(), 0.0};
+        }
+        continue;
+      }
+      const std::vector<Match>* bucket = matches.Find(f.ToBits());
+      if (bucket == nullptr) continue;
+      for (const Match& m : *bucket) {
+        double flow = m.cell->area();
+        for (NodeId leaf : cut) {
+          if (leaf_only(leaf)) continue;
+          const double refs =
+              std::max<std::size_t>(1, fanouts[leaf].size());
+          flow += best[leaf].cost / static_cast<double>(refs);
+        }
+        double arrival = 0;
+        for (int pin = 0; pin < m.cell->num_pins(); ++pin) {
+          const NodeId leaf =
+              cut[static_cast<std::size_t>(m.perm[static_cast<std::size_t>(pin)])];
+          const double leaf_arr = leaf_only(leaf) ? 0.0 : best[leaf].arrival;
+          arrival = std::max(arrival, leaf_arr + m.cell->pin_delay(pin));
+        }
+        const bool better =
+            options.mode == Mode::kArea
+                ? (flow < my.cost ||
+                   (flow == my.cost && arrival < my.arrival))
+                : (arrival < my.arrival ||
+                   (arrival == my.arrival && flow < my.cost));
+        if (better) {
+          my = Choice{m.cell, cut, m.perm, flow, arrival};
+        }
+      }
+    }
+    SM_CHECK(my.cell != nullptr,
+             "no library match for node " << subject.node_name(id)
+                                          << " — library incomplete");
+    // Leaf-only nodes keep arrival 0 / cost 0 implicitly via leaf_only().
+  }
+
+  // --- extraction -------------------------------------------------------
+  TechMapResult result{MappedNetlist(subject.name()),
+                       std::vector<GateId>(n, kInvalidGate)};
+  MappedNetlist& out = result.netlist;
+  for (NodeId id : subject.inputs()) {
+    result.node_map[id] = out.AddInput(subject.node_name(id));
+  }
+
+  GateId tie[2] = {kInvalidGate, kInvalidGate};
+  auto get_tie = [&](bool value) {
+    GateId& slot = tie[value ? 1 : 0];
+    if (slot == kInvalidGate) {
+      const Cell* c = lib.SmallestConstant(value);
+      SM_REQUIRE(c != nullptr, "library lacks a tie cell");
+      slot = out.AddGate(c, {}, value ? "_tie1" : "_tie0");
+    }
+    return slot;
+  };
+
+  // Iterative realization from the outputs.
+  std::vector<NodeId> work;
+  for (const auto& o : subject.outputs()) work.push_back(o.driver);
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    if (result.node_map[id] != kInvalidGate) {
+      work.pop_back();
+      continue;
+    }
+    if (subject.fanins(id).empty() && subject.kind(id) == NodeKind::kLogic) {
+      result.node_map[id] = get_tie(subject.function(id).IsConst1());
+      work.pop_back();
+      continue;
+    }
+    const Choice& ch = best[id];
+    if (ch.cell != nullptr && ch.cell->IsConstant()) {
+      result.node_map[id] = get_tie(ch.cell->function().Get(0));
+      work.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (NodeId leaf : ch.leaves) {
+      if (result.node_map[leaf] == kInvalidGate) {
+        work.push_back(leaf);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    work.pop_back();
+    std::vector<GateId> fanin_gates(static_cast<std::size_t>(
+        ch.cell->num_pins()));
+    for (int pin = 0; pin < ch.cell->num_pins(); ++pin) {
+      const NodeId leaf = ch.leaves[static_cast<std::size_t>(
+          ch.perm[static_cast<std::size_t>(pin)])];
+      fanin_gates[static_cast<std::size_t>(pin)] = result.node_map[leaf];
+    }
+    result.node_map[id] =
+        out.AddGate(ch.cell, std::move(fanin_gates), subject.node_name(id));
+  }
+
+  for (const auto& o : subject.outputs()) {
+    out.AddOutput(o.name, result.node_map[o.driver]);
+  }
+  out.CheckInvariants();
+  return result;
+}
+
+TechMapResult DecomposeAndMap(const Network& net, const Library& lib,
+                              const TechMapOptions& options) {
+  const DecomposeResult d = DecomposeToAndInv(net);
+  TechMapResult mapped = TechMap(d.network, lib, options);
+  // Re-express node_map in terms of the original network's ids.
+  std::vector<GateId> remapped(net.NumNodes(), kInvalidGate);
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    const NodeId s = d.node_map[id];
+    if (s != kInvalidNode) remapped[id] = mapped.node_map[s];
+  }
+  mapped.node_map = std::move(remapped);
+  return mapped;
+}
+
+}  // namespace sm

@@ -1,0 +1,83 @@
+#include "masking/body_bias.h"
+
+#include <algorithm>
+
+#include "map/mapped_bdd.h"
+#include "sta/paths.h"
+#include "util/check.h"
+
+namespace sm {
+
+BodyBiasPlan PlanBodyBias(const MappedNetlist& net, const TimingInfo& timing,
+                          const BodyBiasOptions& options) {
+  SM_REQUIRE(options.biased_delay_factor > 0 &&
+                 options.biased_delay_factor < 1,
+             "bias factor must lie in (0, 1)");
+  SM_REQUIRE(options.target_delay_fraction > 0 &&
+                 options.target_delay_fraction <= 1,
+             "target delay fraction must lie in (0, 1]");
+
+  BodyBiasPlan plan;
+  plan.delay_scale.assign(net.NumElements(), 1.0);
+  plan.delay_before = timing.critical_delay;
+  plan.delay_after = timing.critical_delay;
+
+  const std::size_t budget = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.max_gate_fraction *
+                                  static_cast<double>(net.NumGates())));
+  const double target = options.target_delay_fraction * timing.critical_delay;
+
+  while (plan.biased.size() < budget) {
+    const TimingInfo t =
+        AnalyzeTiming(net, /*clock=*/-1, &plan.delay_scale);
+    plan.delay_after = t.critical_delay;
+    if (t.critical_delay <= target + 1e-12) break;
+
+    // Bias the slowest not-yet-biased gate on the worst path (the largest
+    // scaled cell delay — the biggest single-gate lever on the path).
+    const TimingPath worst = WorstPath(net, t);
+    GateId pick = kInvalidGate;
+    double pick_delay = -1;
+    for (GateId id : worst.elements) {
+      if (net.IsInput(id) || net.cell(id).IsConstant()) continue;
+      if (plan.delay_scale[id] != 1.0) continue;
+      const double d = net.cell(id).max_delay();
+      if (d > pick_delay) {
+        pick_delay = d;
+        pick = id;
+      }
+    }
+    if (pick == kInvalidGate) break;  // the whole path is already biased
+    plan.delay_scale[pick] = options.biased_delay_factor;
+    plan.biased.push_back(pick);
+    plan.leakage_cost += net.cell(pick).area();
+  }
+
+  const TimingInfo t = AnalyzeTiming(net, /*clock=*/-1, &plan.delay_scale);
+  plan.delay_after = t.critical_delay;
+  return plan;
+}
+
+BodyBiasPlan EvaluateBodyBias(BddManager& mgr, const MappedNetlist& net,
+                              const TimingInfo& timing, BodyBiasPlan plan,
+                              double guard_band) {
+  std::vector<GateId> roots;
+  for (const auto& o : net.outputs()) roots.push_back(o.driver);
+  const auto globals = BuildMappedGlobalBdds(mgr, net, roots);
+
+  const std::int64_t target = TimedFunctionEngine::ToTicks(
+      (1.0 - guard_band) * timing.critical_delay);
+  auto sigma_fraction = [&](const std::vector<double>* scale) {
+    TimedFunctionEngine engine(mgr, net, globals, scale);
+    BddManager::Ref sigma = mgr.False();
+    for (const auto& o : net.outputs()) {
+      sigma = mgr.Or(sigma, engine.Spcf(o.driver, target));
+    }
+    return mgr.SatFraction(sigma);
+  };
+  plan.sigma_fraction_before = sigma_fraction(nullptr);
+  plan.sigma_fraction_after = sigma_fraction(&plan.delay_scale);
+  return plan;
+}
+
+}  // namespace sm

@@ -1,0 +1,54 @@
+// Adaptive speed-up of critical gates using body bias — the paper's first
+// future-work direction (Sec. 6). Forward body bias lowers a gate's
+// threshold voltage, trading leakage for speed; applied selectively to the
+// gates that dominate the speed-paths, it shrinks the SPCF (fewer patterns
+// settle late) and hence the masked-error exposure.
+//
+// The planner greedily biases the slowest gate on the current worst path
+// until the critical delay meets the target or the gate budget is spent;
+// the effect is evaluated with the scaled-delay STA and, exactly, with the
+// scaled-delay SPCF engine.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "map/mapped_netlist.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+
+namespace sm {
+
+struct BodyBiasOptions {
+  // Delay multiplier of a forward-biased gate (< 1).
+  double biased_delay_factor = 0.8;
+  // At most this fraction of the gates may be biased (leakage budget).
+  double max_gate_fraction = 0.1;
+  // Stop once the critical delay reaches this fraction of the original Δ.
+  double target_delay_fraction = 0.92;
+};
+
+struct BodyBiasPlan {
+  std::vector<GateId> biased;        // selected gates
+  std::vector<double> delay_scale;   // per element, 1.0 or the bias factor
+  double delay_before = 0;
+  double delay_after = 0;
+  // Exact SPCF mass (fraction of the input space settling after the target
+  // arrival 0.9·Δ_before) without and with the bias plan.
+  double sigma_fraction_before = 0;
+  double sigma_fraction_after = 0;
+  // Modeled leakage cost: biased gates × their area (relative units).
+  double leakage_cost = 0;
+};
+
+// Plans the bias assignment from timing alone (no BDD work).
+BodyBiasPlan PlanBodyBias(const MappedNetlist& net, const TimingInfo& timing,
+                          const BodyBiasOptions& options = {});
+
+// Fills the exact σ-fraction fields of `plan` using the SPCF engine, with
+// the target arrival fixed at (1 − guard_band)·Δ_before for both runs.
+BodyBiasPlan EvaluateBodyBias(BddManager& mgr, const MappedNetlist& net,
+                              const TimingInfo& timing, BodyBiasPlan plan,
+                              double guard_band = 0.1);
+
+}  // namespace sm

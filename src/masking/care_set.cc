@@ -1,0 +1,60 @@
+#include "masking/care_set.h"
+
+#include "bdd/bdd_util.h"
+#include "util/check.h"
+
+namespace sm {
+
+ReducedCover ReduceCoverBySigma(
+    BddManager& mgr, const Sop& cover,
+    const std::vector<BddManager::Ref>& fanin_globals, BddManager::Ref sigma,
+    bool sort_cubes) {
+  SM_REQUIRE(static_cast<int>(fanin_globals.size()) >= cover.num_vars(),
+             "one global function per cover variable required");
+  Sop ordered = cover;
+  if (sort_cubes) ordered.SortByLiteralCount();
+
+  ReducedCover out{Sop(cover.num_vars()), {}};
+  BddManager::Ref covered = mgr.False();  // Σ-patterns covered so far
+  const double sigma_fraction = mgr.SatFraction(sigma);
+  for (const Cube& c : ordered.cubes()) {
+    const BddManager::Ref image = CubeToBdd(mgr, c, fanin_globals);
+    const BddManager::Ref fresh =
+        mgr.And(sigma, mgr.Diff(image, covered));
+    if (fresh == mgr.False()) continue;  // zero essential weight
+    out.cover.AddCube(c);
+    out.weights.push_back(sigma_fraction > 0
+                              ? mgr.SatFraction(fresh) / sigma_fraction
+                              : 0.0);
+    covered = mgr.Or(covered, image);
+  }
+  return out;
+}
+
+Sop DropInessentialCubes(BddManager& mgr, const Sop& cover,
+                         const std::vector<BddManager::Ref>& fanin_globals,
+                         BddManager::Ref sigma) {
+  const std::size_t n = cover.NumCubes();
+  std::vector<BddManager::Ref> images;
+  images.reserve(n);
+  for (const Cube& c : cover.cubes()) {
+    images.push_back(CubeToBdd(mgr, c, fanin_globals));
+  }
+  std::vector<bool> keep(n, true);
+  // Reverse order: later cubes (more literals under the prescribed sort)
+  // are dropped first when redundant.
+  for (std::size_t i = n; i-- > 0;) {
+    BddManager::Ref rest = mgr.False();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && keep[j]) rest = mgr.Or(rest, images[j]);
+    }
+    if (mgr.Implies(sigma, rest)) keep[i] = false;
+  }
+  Sop out(cover.num_vars());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.AddCube(cover.cubes()[i]);
+  }
+  return out;
+}
+
+}  // namespace sm

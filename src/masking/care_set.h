@@ -1,0 +1,39 @@
+// Satisfiability-care-set machinery (Sec. 4.1).
+//
+// The SPCF Σ_y is the input care-set of the logic cone of a critical output.
+// A node's cover cube is *essential* when it covers at least one pattern of
+// Σ_y (through the node's original fanin functions) that no earlier cube
+// covers. Covers reduced to their essential cubes still cover every
+// satisfiability-care minterm (greedy-cover invariant), which is what the
+// prediction logic ñ / indicator e are built from.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "boolean/sop.h"
+
+namespace sm {
+
+struct ReducedCover {
+  Sop cover;                    // the essential cubes, in original order
+  std::vector<double> weights;  // essential weight of each kept cube
+                                // (fraction of the Σ space it newly covers)
+};
+
+// `fanin_globals[i]` is the global BDD of the node's i-th fanin in the
+// original network; `sigma` is the care set (union of SPCFs over the
+// critical outputs whose cones contain the node). When `sort_cubes`, cubes
+// are first ordered ascending by literal count (the paper's prescription).
+ReducedCover ReduceCoverBySigma(BddManager& mgr, const Sop& cover,
+                                const std::vector<BddManager::Ref>& fanin_globals,
+                                BddManager::Ref sigma, bool sort_cubes = true);
+
+// Greedy reverse pass dropping cubes not needed for Σ-coverage of the
+// combined cover (used to simplify the indicator e, Sec. 4.1 step "the
+// Boolean expression for e can be simplified further").
+Sop DropInessentialCubes(BddManager& mgr, const Sop& cover,
+                         const std::vector<BddManager::Ref>& fanin_globals,
+                         BddManager::Ref sigma);
+
+}  // namespace sm

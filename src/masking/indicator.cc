@@ -1,0 +1,49 @@
+#include "masking/indicator.h"
+
+#include "util/check.h"
+
+namespace sm {
+
+WearoutMonitor::WearoutMonitor(const ProtectedCircuit& circuit,
+                               double raw_deadline)
+    : circuit_(circuit), raw_deadline_(raw_deadline) {
+  SM_REQUIRE(raw_deadline > 0, "raw deadline must be positive");
+}
+
+void WearoutMonitor::Record(const EventSimResult& sim) {
+  SM_REQUIRE(sim.sampled.size() == circuit_.netlist.NumElements(),
+             "simulation result does not match the protected netlist");
+  ++stats_.cycles;
+  bool exercised = false;
+  for (const auto& tap : circuit_.taps) {
+    const bool e = sim.sampled[tap.indicator];
+    exercised = exercised || e;
+    // The mux output is the architecturally visible signal, judged at the
+    // simulation clock.
+    if (sim.TimingErrorAt(tap.mux)) ++stats_.unmasked_errors;
+    // The raw output is judged against the original clock Δ: it "erred"
+    // when it was still switching past its own deadline. With the flag up,
+    // the mux masked this error — this is the e_i·(y_i ⊕ ỹ_i) event the
+    // paper logs for wearout prediction.
+    if (e && sim.settle_at[tap.original] > raw_deadline_ + 1e-9) {
+      ++stats_.masked_errors;
+    }
+  }
+  if (exercised) ++stats_.exercised;
+}
+
+void WearoutMonitor::Reset() { stats_ = Stats{}; }
+
+TraceBufferModel::TraceBufferModel(std::size_t depth) : depth_(depth) {
+  SM_REQUIRE(depth > 0, "trace buffer needs a positive depth");
+}
+
+bool TraceBufferModel::Step(bool capture) {
+  ++cycles_;
+  if (full() || !capture) return false;
+  ++stored_;
+  if (full()) window_ = cycles_;
+  return true;
+}
+
+}  // namespace sm

@@ -1,0 +1,82 @@
+// Runtime uses of the indicator outputs (Sec. 2.1):
+//  * wearout detection — log e_i·(y_i ⊕ ỹ_i) events; a rising masked-error
+//    rate under aging predicts the onset of wearout;
+//  * in-system silicon debug — e_i marks the cycles on which speed-paths are
+//    exercised, gating selective capture into a trace buffer.
+//
+// WearoutMonitor consumes event-simulation results of a protected netlist
+// and accumulates these statistics; TraceBufferModel turns the indicator
+// stream into the trace-buffer window-expansion factor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "masking/integrate.h"
+#include "sim/event_sim.h"
+
+namespace sm {
+
+class WearoutMonitor {
+ public:
+  // `raw_deadline` is the sampling deadline of the *unprotected* outputs
+  // (the original clock Δ). The protected outputs are judged at the
+  // simulation's own clock (Δ plus the mux compensation).
+  WearoutMonitor(const ProtectedCircuit& circuit, double raw_deadline);
+
+  // Records one clocked pattern application.
+  void Record(const EventSimResult& sim);
+  void Reset();
+
+  struct Stats {
+    std::uint64_t cycles = 0;
+    // Cycles where some indicator was raised (speed-path sensitized).
+    std::uint64_t exercised = 0;
+    // Timing errors observed at an original critical output while its
+    // indicator was raised — these are masked by the mux.
+    std::uint64_t masked_errors = 0;
+    // Timing errors surviving at the protected outputs (must stay zero
+    // while the masking circuit meets timing).
+    std::uint64_t unmasked_errors = 0;
+
+    double MaskedErrorRate() const {
+      return cycles == 0 ? 0.0
+                         : static_cast<double>(masked_errors) /
+                               static_cast<double>(cycles);
+    }
+  };
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const ProtectedCircuit& circuit_;
+  double raw_deadline_;
+  Stats stats_;
+};
+
+// Trace-buffer selective capture (after [25]): a buffer of `depth` entries
+// stores a cycle's signals only when `capture` is true for that cycle.
+// The observation window is the span of cycles the buffer covers before
+// filling; selective capture expands it by 1/capture-rate.
+class TraceBufferModel {
+ public:
+  explicit TraceBufferModel(std::size_t depth);
+
+  // Advances one cycle; returns true when the cycle was stored.
+  bool Step(bool capture);
+
+  std::size_t depth() const { return depth_; }
+  std::size_t stored() const { return stored_; }
+  bool full() const { return stored_ >= depth_; }
+  // Cycles elapsed until the buffer filled (== window size); 0 if not full.
+  std::uint64_t window() const { return full() ? window_ : 0; }
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  std::size_t depth_;
+  std::size_t stored_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t window_ = 0;
+};
+
+}  // namespace sm

@@ -1,0 +1,61 @@
+#include "masking/razor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sm {
+
+RazorModel BuildRazorModel(const MappedNetlist& net, const TimingInfo& timing,
+                           double guard_band, const RazorOptions& options) {
+  RazorModel m;
+  const auto critical = CriticalOutputs(net, timing, guard_band);
+  m.monitored_outputs = critical.size();
+
+  // The shadow latch samples W after the main edge; any path shorter than W
+  // into a monitored output could corrupt the shadow sample (the short-path
+  // padding problem the paper cites as a Razor drawback).
+  double window = std::numeric_limits<double>::infinity();
+  for (std::size_t i : critical) {
+    window = std::min(window, timing.min_arrival[net.output(i).driver]);
+  }
+  m.detection_window = critical.empty() ? 0 : window;
+  m.min_safe_clock = timing.clock - m.detection_window;
+
+  m.area_overhead = static_cast<double>(m.monitored_outputs) *
+                    (options.latch_area + options.xor_area);
+  const double base_area = net.TotalArea();
+  m.area_overhead_percent =
+      base_area > 0 ? 100.0 * m.area_overhead / base_area : 0;
+  return m;
+}
+
+RazorModel EvaluateRazorAtClock(BddManager& mgr, const MappedNetlist& net,
+                                const TimingInfo& timing, RazorModel model,
+                                double clock, const RazorOptions& options) {
+  SM_REQUIRE(clock > 0, "clock must be positive");
+  SM_REQUIRE(clock + 1e-9 >= model.min_safe_clock,
+             "clock " << clock << " below the safe detection floor "
+                      << model.min_safe_clock
+                      << " — errors would escape the shadow latch window");
+  model.clock = clock;
+
+  if (clock >= timing.clock) {
+    model.error_rate = 0;
+  } else {
+    // The SPCF at target T is exactly the set of patterns settling after T.
+    SpcfOptions spcf_options;
+    spcf_options.guard_band = 1.0 - clock / timing.clock;
+    const SpcfResult spcf = ComputeSpcf(mgr, net, timing, spcf_options);
+    model.error_rate = mgr.SatFraction(spcf.sigma_union);
+  }
+
+  const double cycles_per_op =
+      1.0 + model.error_rate * options.replay_penalty_cycles;
+  const double base_throughput = 1.0 / timing.clock;
+  model.throughput_rel = (1.0 / (clock * cycles_per_op)) / base_throughput;
+  return model;
+}
+
+}  // namespace sm

@@ -1,0 +1,61 @@
+// Razor-style detect-and-replay baseline (Ernst et al. [8], the main
+// alternative the paper positions itself against, Sec. 1-2).
+//
+// Model: every critical output gets a shadow latch clocked W after the main
+// edge plus an XOR comparator; the per-output error signals OR into a replay
+// request costing `replay_penalty` cycles. The model exposes the two
+// classic Razor constraints, both computed from this repo's machinery:
+//  * detection window W is bounded by the *shortest* path into any critical
+//    output (a short path may legally switch inside the window and corrupt
+//    the shadow value) — the min-arrival STA pass;
+//  * the error (replay) rate at a scaled clock T equals the SPCF mass
+//    |Σ(T)| / 2^n — the exact fraction of patterns settling after T.
+//
+// Throughput(T) = 1 / (T · (1 + rate(T) · penalty)), which the comparison
+// bench plots against the masking approach (no replay, mux-compensated
+// clock).
+#pragma once
+
+#include "bdd/bdd.h"
+#include "map/mapped_netlist.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+
+namespace sm {
+
+struct RazorOptions {
+  double replay_penalty_cycles = 5.0;  // pipeline refill on error
+  double latch_area = 4.0;             // shadow latch cost (area units)
+  double xor_area = 5.0;               // comparator cost
+  double latch_energy = 2.0;           // per-cycle shadow clocking energy
+};
+
+struct RazorModel {
+  std::size_t monitored_outputs = 0;
+  double detection_window = 0;  // max safe W (min arrival over monitored)
+  double min_safe_clock = 0;    // Δ − W: below this, errors go undetected
+  double area_overhead = 0;     // latches + comparators (area units)
+  double area_overhead_percent = 0;
+
+  // Error (replay) rate and throughput at a given clock T; populated by
+  // EvaluateRazorAtClock.
+  double clock = 0;
+  double error_rate = 0;
+  double throughput_rel = 0;  // relative to the fixed-clock design (1/Δ)
+};
+
+// Static model: which outputs need shadows (those with speed-paths within
+// `guard_band` of Δ) and how large the detection window may be.
+RazorModel BuildRazorModel(const MappedNetlist& net, const TimingInfo& timing,
+                           double guard_band,
+                           const RazorOptions& options = {});
+
+// Fills the clock-dependent fields for clock T (absolute delay units).
+// Requires T >= model.min_safe_clock (undetected errors otherwise); throws
+// std::invalid_argument when violated.
+RazorModel EvaluateRazorAtClock(BddManager& mgr, const MappedNetlist& net,
+                                const TimingInfo& timing, RazorModel model,
+                                double clock,
+                                const RazorOptions& options = {});
+
+}  // namespace sm

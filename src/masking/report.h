@@ -1,0 +1,34 @@
+// Overhead accounting for Table 2: area, power and slack of the
+// error-masking circuit relative to the original circuit.
+#pragma once
+
+#include <string>
+
+#include "masking/integrate.h"
+#include "sim/power.h"
+
+namespace sm {
+
+struct OverheadReport {
+  std::string circuit;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_gates = 0;          // original mapped gates
+  std::size_t critical_outputs = 0;   // Table 2 "Critical POs"
+  double critical_minterms = 0;       // Table 2 "Critical minterms"
+  double log2_critical_minterms = 0;
+  double slack_percent = 0;           // Table 2 "Slack (in %)"
+  double area_percent = 0;            // Table 2 "Overhead / Area"
+  double power_percent = 0;           // Table 2 "Overhead / Power"
+  bool coverage_100 = false;
+  bool safety = false;
+};
+
+// Simulates both netlists with the given seed (same pattern stream for a
+// fair power comparison) and assembles the Table 2 row. `sim_words` batches
+// of 64 random patterns drive the estimate.
+OverheadReport ComputeOverheads(const MappedNetlist& original,
+                                const ProtectedCircuit& protected_circuit,
+                                std::uint64_t seed, int sim_words = 64);
+
+}  // namespace sm

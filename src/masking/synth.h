@@ -1,0 +1,75 @@
+// Error-masking circuit synthesis (Sec. 4.1).
+//
+// Starting from the technology-independent network T of circuit C, every
+// internal node n_j in the fanin cone of a critical output is simplified
+// against the satisfiability care-set induced by the SPCF:
+//
+//   1. exact on-set and off-set covers of n_j, cubes ascending by literals;
+//   2. cubes with zero essential weight w.r.t. Σ dropped → reduced covers
+//      n¹, n⁰ (they still cover every care minterm);
+//   3. prediction   ñ_j = n¹  (or ¬n⁰, whichever is cheaper);
+//      indicator  e_nj = n⁰ ∨ n¹ (disjoint, equals n⁰ ⊕ n¹ of Eqn. 2),
+//      further simplified by dropping Σ-inessential cubes;
+//   4. e_y = ⋀ e_nj over the cone — by induction, a wrong fanin prediction
+//      forces its own indicator low, so e_y = 1 ⟹ ỹ = y on EVERY input
+//      pattern (the property the output mux needs), while every Σ_y pattern
+//      drives e_y = 1 (100% masking coverage).
+//
+// The resulting network T̃ is swept and handed to the delay-mode mapper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "network/eliminate.h"
+#include "network/network.h"
+#include "spcf/spcf.h"
+
+namespace sm {
+
+struct MaskingSynthOptions {
+  // Ablation knobs (bench/ablation_synthesis):
+  bool sort_cubes = true;            // step 1 cube ordering
+  bool reduce_covers = true;         // step 2 (off: keep full covers)
+  bool simplify_indicators = true;   // step 3 e-simplification
+  bool choose_cheaper_polarity = true;  // ñ = n¹ vs ¬n⁰ by literal count
+  // Fanin width of the AND nodes forming the e_y conjunction tree.
+  int indicator_tree_arity = 4;
+  // Collapse the masking network (bounded eliminate) before mapping — this
+  // flattens the Σ-simplified logic and is what achieves the ≥20% slack.
+  bool collapse = true;
+  EliminateOptions eliminate;
+};
+
+struct MaskingCircuit {
+  // Inputs mirror the original PIs (same names, same order). For each
+  // critical output y the network exposes two outputs: prediction
+  // "pred_<y>" and indicator "ind_<y>".
+  Network network;
+
+  struct Entry {
+    std::size_t output_index;  // index into the original outputs
+    std::size_t pred_output;   // index into network.outputs()
+    std::size_t ind_output;    // index into network.outputs()
+  };
+  std::vector<Entry> entries;
+
+  // Synthesis statistics.
+  std::size_t cone_nodes = 0;        // nodes processed
+  std::size_t cubes_before = 0;      // on+off cover cubes before reduction
+  std::size_t cubes_after = 0;       // after essential-weight reduction
+  std::size_t indicator_cubes = 0;   // e cubes after simplification
+  std::size_t const_indicators = 0;  // e_nj == 1 (skipped from the AND tree)
+};
+
+// `ti` is the technology-independent network of the circuit the SPCF was
+// computed for (same PI order as the mapped netlist). `ti_globals` are its
+// global BDDs in `mgr` (from BuildGlobalBdds); `spcf.sigma` is indexed by
+// output position.
+MaskingCircuit SynthesizeMaskingNetwork(BddManager& mgr, const Network& ti,
+                                        const std::vector<BddManager::Ref>& ti_globals,
+                                        const SpcfResult& spcf,
+                                        const MaskingSynthOptions& options = {});
+
+}  // namespace sm

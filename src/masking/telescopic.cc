@@ -1,0 +1,171 @@
+#include "masking/telescopic.h"
+
+#include <algorithm>
+
+#include "map/mapped_bdd.h"
+#include "network/global_bdd.h"
+#include "network/structural.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+// A cube over primary-input literals: (var, phase) pairs.
+using PiCube = std::vector<std::pair<int, bool>>;
+
+BddManager::Ref CubeBdd(BddManager& mgr, const PiCube& cube) {
+  BddManager::Ref r = mgr.True();
+  for (auto [v, phase] : cube) {
+    r = mgr.And(r, phase ? mgr.Var(v) : mgr.NotVar(v));
+  }
+  return r;
+}
+
+// Expands a satisfying path cube of `sigma` into a prime of any superset:
+// a literal may be dropped whenever the enlarged cube still avoids
+// under-coverage... which is always true (HOLD may over-approximate), so the
+// expansion is instead bounded by a quality rule: drop a literal only while
+// the cube stays inside `budget` (the region we are willing to hold).
+PiCube ExpandCube(BddManager& mgr, PiCube cube, BddManager::Ref budget) {
+  for (std::size_t i = 0; i < cube.size();) {
+    PiCube candidate = cube;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    if (mgr.Implies(CubeBdd(mgr, candidate), budget)) {
+      cube = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+  return cube;
+}
+
+// Balanced OR/AND construction over arbitrarily many operands.
+NodeId Tree(Network& net, std::vector<NodeId> ops, int arity, bool is_and,
+            const std::string& base) {
+  SM_CHECK(!ops.empty(), "tree needs operands");
+  int counter = 0;
+  while (ops.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < ops.size();
+         i += static_cast<std::size_t>(arity)) {
+      const std::size_t hi =
+          std::min(ops.size(), i + static_cast<std::size_t>(arity));
+      std::vector<NodeId> group(ops.begin() + static_cast<std::ptrdiff_t>(i),
+                                ops.begin() + static_cast<std::ptrdiff_t>(hi));
+      if (group.size() == 1) {
+        next.push_back(group[0]);
+        continue;
+      }
+      const std::string name = base + std::to_string(counter++);
+      next.push_back(is_and ? AddAnd(net, std::move(group), name)
+                            : AddOr(net, std::move(group), name));
+    }
+    ops = std::move(next);
+  }
+  return ops[0];
+}
+
+}  // namespace
+
+TelescopicUnit SynthesizeTelescopicUnit(BddManager& mgr,
+                                        const MappedNetlist& net,
+                                        const TimingInfo& timing,
+                                        const TelescopicOptions& options) {
+  SM_REQUIRE(options.fast_fraction > 0 && options.fast_fraction < 1,
+             "fast fraction must lie in (0, 1)");
+  SM_REQUIRE(options.max_cubes >= 1, "need at least one cube");
+
+  SpcfOptions spcf_options;
+  spcf_options.guard_band = 1.0 - options.fast_fraction;  // Δ_y = T
+  const SpcfResult spcf = ComputeSpcf(mgr, net, timing, spcf_options);
+  const BddManager::Ref sigma = spcf.sigma_union;
+
+  TelescopicUnit unit{Network(net.name() + "_hold"), 0, 0, 1, 1, 0, false};
+  unit.fast_clock = options.fast_fraction * timing.clock;
+
+  // Greedy prime-cube covering of Σ. Each round picks one satisfying path
+  // of the uncovered remainder, expands it inside the current budget, and
+  // adds it to the cover. The budget starts at Σ itself (exact cover);
+  // when the cube cap approaches, it relaxes to the whole space so the last
+  // cubes can absorb everything left (over-approximation, still sound).
+  std::vector<PiCube> cover;
+  BddManager::Ref hold = mgr.False();
+  BddManager::Ref remaining = sigma;
+  bool exact = true;
+  while (remaining != mgr.False()) {
+    const bool last_chance = cover.size() + 1 >= options.max_cubes;
+    const BddManager::Ref budget = last_chance ? mgr.True() : sigma;
+    PiCube cube;
+    for (auto [v, phase] : mgr.SatOne(remaining)) {
+      cube.emplace_back(v, phase);
+    }
+    cube = ExpandCube(mgr, std::move(cube), budget);
+    const BddManager::Ref cube_bdd = CubeBdd(mgr, cube);
+    if (!mgr.Implies(cube_bdd, sigma)) exact = false;
+    cover.push_back(std::move(cube));
+    hold = mgr.Or(hold, cube_bdd);
+    remaining = mgr.Diff(remaining, cube_bdd);
+  }
+
+  // --- build the hold network ---------------------------------------------
+  Network& out = unit.hold_network;
+  std::vector<NodeId> pis;
+  for (GateId pi : net.inputs()) {
+    pis.push_back(out.AddInput(net.element(pi).name));
+  }
+  NodeId hold_node;
+  if (cover.empty()) {
+    hold_node = out.AddNode({}, Sop::Const0(0), "hold_const0");
+  } else {
+    std::vector<NodeId> cube_nodes;
+    std::vector<NodeId> inverted(pis.size(), kInvalidNode);
+    auto literal = [&](int v, bool phase) {
+      if (phase) return pis[static_cast<std::size_t>(v)];
+      NodeId& inv = inverted[static_cast<std::size_t>(v)];
+      if (inv == kInvalidNode) {
+        inv = AddNot(out, pis[static_cast<std::size_t>(v)],
+                     "ninp" + std::to_string(v));
+      }
+      return inv;
+    };
+    int cube_counter = 0;
+    for (const PiCube& cube : cover) {
+      std::vector<NodeId> lits;
+      for (auto [v, phase] : cube) lits.push_back(literal(v, phase));
+      if (lits.empty()) {
+        cube_nodes.push_back(out.AddNode({}, Sop::Const1(0), "hold_const1"));
+        continue;
+      }
+      cube_nodes.push_back(Tree(out, std::move(lits), options.node_arity,
+                                /*is_and=*/true,
+                                "hc" + std::to_string(cube_counter++) + "_"));
+    }
+    hold_node = Tree(out, std::move(cube_nodes), options.node_arity,
+                     /*is_and=*/false, "hold_or");
+  }
+  out.AddOutput("hold", hold_node);
+  out.CheckInvariants();
+
+  unit.hold_fraction = mgr.SatFraction(hold);
+  unit.avg_cycles = 1.0 + unit.hold_fraction;
+  unit.speedup =
+      timing.clock / (unit.fast_clock * unit.avg_cycles);
+  unit.cover_cubes = cover.size();
+  unit.exact = exact && hold == sigma;
+  return unit;
+}
+
+bool VerifyHoldCoverage(BddManager& mgr, const MappedNetlist& net,
+                        const TimingInfo& timing, const TelescopicUnit& unit) {
+  // Recompute Σ(T) and compare against the synthesized network's function.
+  SpcfOptions spcf_options;
+  spcf_options.guard_band = 1.0 - unit.fast_clock / timing.clock;
+  const SpcfResult spcf = ComputeSpcf(mgr, net, timing, spcf_options);
+
+  std::vector<NodeId> roots{unit.hold_network.output(0).driver};
+  const auto globals = BuildGlobalBdds(mgr, unit.hold_network, roots);
+  const BddManager::Ref hold = globals[roots[0]];
+  return mgr.Implies(spcf.sigma_union, hold);
+}
+
+}  // namespace sm

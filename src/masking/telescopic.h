@@ -1,0 +1,56 @@
+// Variable-latency ("telescopic") unit synthesis — the companion application
+// of the SPCF machinery (Benini et al. [27, 28], the lineage Sec. 3 builds
+// on). The unit is clocked at T = fast_fraction·Δ; a HOLD output raises for
+// exactly the input patterns that need a second cycle. HOLD must cover the
+// SPCF Σ(T) (never releasing a late result) and should cover little else
+// (every extra pattern costs a stall) — the classic "near-minimum timed
+// supersetting" problem, solved here by greedy prime-cube covering of the
+// Σ BDD.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "map/mapped_netlist.h"
+#include "network/network.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+
+namespace sm {
+
+struct TelescopicOptions {
+  // The fast clock as a fraction of the critical-path delay Δ.
+  double fast_fraction = 0.85;
+  // Cap on the number of cubes in the HOLD cover; when reached, remaining
+  // Σ patterns are absorbed by aggressively expanded cubes (more
+  // over-approximation, never under-coverage).
+  std::size_t max_cubes = 64;
+  // Fanin width of the AND/OR nodes in the synthesized hold network.
+  int node_arity = 8;
+};
+
+struct TelescopicUnit {
+  // Single-output network (same PIs as the unit) computing HOLD.
+  Network hold_network;
+  double fast_clock = 0;     // T, in delay units
+  double hold_fraction = 0;  // P(HOLD = 1) under uniform inputs
+  double avg_cycles = 1;     // 1 + hold_fraction
+  // Throughput vs the fixed-clock design: Δ / (T · avg_cycles).
+  double speedup = 1;
+  std::size_t cover_cubes = 0;
+  bool exact = false;  // HOLD == Σ(T) (no over-approximation was needed)
+};
+
+// `mgr` must carry the mapped netlist's global space (one variable per PI).
+// The SPCF of every output is computed at T via the exact short-path
+// algorithm internally.
+TelescopicUnit SynthesizeTelescopicUnit(BddManager& mgr,
+                                        const MappedNetlist& net,
+                                        const TimingInfo& timing,
+                                        const TelescopicOptions& options = {});
+
+// Formal check: HOLD ⊇ Σ(T). Returns true when every late pattern is held.
+bool VerifyHoldCoverage(BddManager& mgr, const MappedNetlist& net,
+                        const TimingInfo& timing, const TelescopicUnit& unit);
+
+}  // namespace sm

@@ -1,0 +1,70 @@
+#include "masking/verify.h"
+
+#include <algorithm>
+
+#include "map/mapped_bdd.h"
+#include "network/global_bdd.h"
+#include "util/check.h"
+
+namespace sm {
+
+MaskingVerification VerifyMasking(
+    BddManager& mgr, const Network& ti,
+    const std::vector<BddManager::Ref>& ti_globals,
+    const MaskingCircuit& masking, const SpcfResult& spcf) {
+  SM_REQUIRE(ti.NumInputs() == masking.network.NumInputs(),
+             "PI interfaces differ");
+  std::vector<NodeId> roots;
+  for (const auto& o : masking.network.outputs()) roots.push_back(o.driver);
+  const auto mask_globals = BuildGlobalBdds(mgr, masking.network, roots);
+
+  MaskingVerification v;
+  v.safety = true;
+  v.coverage = true;
+  v.coverage_fraction = 1.0;
+
+  for (const auto& entry : masking.entries) {
+    const BddManager::Ref y = ti_globals[ti.output(entry.output_index).driver];
+    const BddManager::Ref pred =
+        mask_globals[masking.network.output(entry.pred_output).driver];
+    const BddManager::Ref ind =
+        mask_globals[masking.network.output(entry.ind_output).driver];
+    const BddManager::Ref sigma = spcf.sigma[entry.output_index];
+
+    const bool safe = mgr.And(ind, mgr.Xor(pred, y)) == mgr.False();
+    const bool covered = mgr.Implies(sigma, ind);
+    if (!safe || !covered) v.failing_outputs.push_back(entry.output_index);
+    v.safety = v.safety && safe;
+    v.coverage = v.coverage && covered;
+
+    const double sf = mgr.SatFraction(sigma);
+    if (sf > 0) {
+      v.coverage_fraction = std::min(
+          v.coverage_fraction, mgr.SatFraction(mgr.And(sigma, ind)) / sf);
+    }
+  }
+  return v;
+}
+
+bool VerifyProtectedEquivalence(const MappedNetlist& original,
+                                const ProtectedCircuit& protected_circuit) {
+  const MappedNetlist& prot = protected_circuit.netlist;
+  SM_REQUIRE(original.NumInputs() == prot.NumInputs() &&
+                 original.NumOutputs() == prot.NumOutputs(),
+             "interface mismatch between original and protected circuits");
+  BddManager mgr(static_cast<int>(original.NumInputs()));
+  std::vector<GateId> ro;
+  std::vector<GateId> rp;
+  for (const auto& o : original.outputs()) ro.push_back(o.driver);
+  for (const auto& o : prot.outputs()) rp.push_back(o.driver);
+  const auto go = BuildMappedGlobalBdds(mgr, original, ro);
+  const auto gp = BuildMappedGlobalBdds(mgr, prot, rp);
+  for (std::size_t i = 0; i < original.NumOutputs(); ++i) {
+    if (go[original.output(i).driver] != gp[prot.output(i).driver]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sm

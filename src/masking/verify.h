@@ -1,0 +1,43 @@
+// Formal verification of the error-masking construction (BDD-based):
+//   safety    — for EVERY input pattern, e_y = 1 ⟹ ỹ = y (the output mux
+//               may switch to the prediction whenever e_y is raised);
+//   coverage  — every SPCF pattern raises e_y (100% masking of speed-path
+//               timing errors, the paper's Table 2 claim).
+// Also checks that the integrated (protected) netlist is functionally
+// equivalent to the original circuit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "masking/integrate.h"
+#include "masking/synth.h"
+#include "network/network.h"
+#include "spcf/spcf.h"
+
+namespace sm {
+
+struct MaskingVerification {
+  bool safety = false;
+  bool coverage = false;
+  // min over critical outputs of |Σ_y ∧ e_y| / |Σ_y| (1.0 == 100%).
+  double coverage_fraction = 0;
+  std::vector<std::size_t> failing_outputs;  // original output indices
+
+  bool ok() const { return safety && coverage; }
+};
+
+// `ti` / `ti_globals`: the original technology-independent network and its
+// global BDDs in `mgr` (PI order shared with the SPCF computation).
+MaskingVerification VerifyMasking(BddManager& mgr, const Network& ti,
+                                  const std::vector<BddManager::Ref>& ti_globals,
+                                  const MaskingCircuit& masking,
+                                  const SpcfResult& spcf);
+
+// True when every output of the protected netlist equals the corresponding
+// original output for all input patterns.
+bool VerifyProtectedEquivalence(const MappedNetlist& original,
+                                const ProtectedCircuit& protected_circuit);
+
+}  // namespace sm

@@ -1,0 +1,331 @@
+#include "network/blif.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "boolean/isop.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace sm {
+namespace {
+
+struct RawNames {
+  std::vector<std::string> signals;  // fanin names + output name (last)
+  std::vector<std::string> cover;    // "10-1 1" style lines
+};
+
+struct RawModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<RawNames> names;
+  std::vector<BlifLatch> latches;
+};
+
+// Reads logical lines, folding '\' continuations and stripping '#' comments.
+std::vector<std::string> LogicalLines(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::string pending;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::string t = Trim(line);
+    if (!t.empty() && t.back() == '\\') {
+      t.pop_back();
+      pending += t + " ";
+      continue;
+    }
+    pending += t;
+    if (!pending.empty()) lines.push_back(pending);
+    pending.clear();
+  }
+  if (!pending.empty()) lines.push_back(pending);
+  return lines;
+}
+
+RawModel ParseRaw(std::istream& in) {
+  RawModel model;
+  RawNames* current = nullptr;
+  bool ended = false;
+  for (const std::string& line : LogicalLines(in)) {
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (ended) {
+      throw ParseError("BLIF: content after .end");
+    }
+    const std::string& head = tokens[0];
+    if (head == ".model") {
+      if (tokens.size() >= 2) model.name = tokens[1];
+      current = nullptr;
+    } else if (head == ".inputs") {
+      model.inputs.insert(model.inputs.end(), tokens.begin() + 1,
+                          tokens.end());
+      current = nullptr;
+    } else if (head == ".outputs") {
+      model.outputs.insert(model.outputs.end(), tokens.begin() + 1,
+                           tokens.end());
+      current = nullptr;
+    } else if (head == ".names") {
+      if (tokens.size() < 2) throw ParseError("BLIF: .names without signals");
+      model.names.push_back(
+          RawNames{{tokens.begin() + 1, tokens.end()}, {}});
+      current = &model.names.back();
+    } else if (head == ".latch") {
+      // .latch <input> <output> [<type> <control>] [<init-val>]
+      if (tokens.size() < 3) throw ParseError("BLIF: malformed .latch");
+      BlifLatch latch{tokens[1], tokens[2], '3'};
+      const std::string& last = tokens.back();
+      if (tokens.size() > 3 && last.size() == 1 && last[0] >= '0' &&
+          last[0] <= '3') {
+        latch.initial = last[0];
+      }
+      model.latches.push_back(std::move(latch));
+      current = nullptr;
+    } else if (head == ".end") {
+      ended = true;
+      current = nullptr;
+    } else if (head[0] == '.') {
+      throw ParseError("BLIF: unsupported construct: " + head);
+    } else {
+      if (current == nullptr) {
+        throw ParseError("BLIF: cover line outside .names: " + line);
+      }
+      current->cover.push_back(line);
+    }
+  }
+  if (model.name.empty()) model.name = "top";
+  return model;
+}
+
+// Builds the SOP of one .names block. Fanin count k; cover lines have a
+// k-character input part ('0'/'1'/'-') and a single output character.
+Sop BuildSop(const RawNames& raw, int k) {
+  std::vector<Cube> on_cubes;
+  std::vector<Cube> off_cubes;
+  for (const std::string& line : raw.cover) {
+    const std::vector<std::string> parts = SplitWhitespace(line);
+    std::string in_part;
+    std::string out_part;
+    if (k == 0) {
+      if (parts.size() != 1) {
+        throw ParseError("BLIF: constant cover line must be '0' or '1'");
+      }
+      out_part = parts[0];
+    } else {
+      if (parts.size() != 2) {
+        throw ParseError("BLIF: malformed cover line: " + line);
+      }
+      in_part = parts[0];
+      out_part = parts[1];
+    }
+    if (static_cast<int>(in_part.size()) != k) {
+      throw ParseError("BLIF: cover width mismatch: " + line);
+    }
+    if (out_part != "0" && out_part != "1") {
+      throw ParseError("BLIF: cover output must be 0 or 1: " + line);
+    }
+    Cube c;
+    for (int v = 0; v < k; ++v) {
+      switch (in_part[static_cast<std::size_t>(v)]) {
+        case '0':
+          c = c.WithLiteral(v, false);
+          break;
+        case '1':
+          c = c.WithLiteral(v, true);
+          break;
+        case '-':
+          break;
+        default:
+          throw ParseError("BLIF: bad cover character in: " + line);
+      }
+    }
+    (out_part == "1" ? on_cubes : off_cubes).push_back(c);
+  }
+  if (!on_cubes.empty() && !off_cubes.empty()) {
+    throw ParseError("BLIF: mixed on-set and off-set cover");
+  }
+  if (!off_cubes.empty()) {
+    // Off-set cover: function is the complement of the cube union.
+    SM_REQUIRE(k <= kMaxTruthVars, "off-set cover too wide to complement");
+    const Sop off(k, std::move(off_cubes));
+    return Isop(~off.ToTruthTable(), TruthTable::Const0(k));
+  }
+  // No cover lines at all means constant 0 (SIS convention).
+  return Sop(k, std::move(on_cubes));
+}
+
+}  // namespace
+
+namespace {
+
+BlifCircuit BuildCircuit(const RawModel& raw) {
+  BlifCircuit circuit{Network(raw.name), raw.latches};
+  Network& net = circuit.network;
+
+  std::map<std::string, const RawNames*> def_of;
+  for (const RawNames& nm : raw.names) {
+    const std::string& out_name = nm.signals.back();
+    if (!def_of.emplace(out_name, &nm).second) {
+      throw ParseError("BLIF: signal defined twice: " + out_name);
+    }
+  }
+
+  // Latch outputs (Q nets) act as pseudo primary inputs of the core.
+  std::vector<std::string> all_inputs = raw.inputs;
+  for (const BlifLatch& latch : raw.latches) {
+    all_inputs.push_back(latch.output);
+  }
+  std::map<std::string, NodeId> id_of;
+  for (const std::string& in_name : all_inputs) {
+    if (id_of.count(in_name) != 0) {
+      throw ParseError("BLIF: duplicate input: " + in_name);
+    }
+    if (def_of.count(in_name) != 0) {
+      throw ParseError("BLIF: input also defined by .names: " + in_name);
+    }
+    id_of.emplace(in_name, net.AddInput(in_name));
+  }
+
+  // Recursive elaboration (explicit stack) in dependency order.
+  std::vector<std::string> stack;
+  std::map<std::string, bool> visiting;
+  auto elaborate = [&](const std::string& root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::string sig = stack.back();
+      if (id_of.count(sig) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      const auto it = def_of.find(sig);
+      if (it == def_of.end()) {
+        throw ParseError("BLIF: undefined signal: " + sig);
+      }
+      const RawNames& nm = *it->second;
+      bool ready = true;
+      for (std::size_t i = 0; i + 1 < nm.signals.size(); ++i) {
+        if (id_of.count(nm.signals[i]) == 0) {
+          if (visiting[nm.signals[i]]) {
+            throw ParseError("BLIF: combinational cycle through " +
+                             nm.signals[i]);
+          }
+          visiting[sig] = true;
+          stack.push_back(nm.signals[i]);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      const int k = static_cast<int>(nm.signals.size()) - 1;
+      SM_REQUIRE(k <= kMaxCubeVars, "BLIF node too wide: " + sig);
+      std::vector<NodeId> fanins;
+      for (int i = 0; i < k; ++i) {
+        fanins.push_back(id_of.at(nm.signals[static_cast<std::size_t>(i)]));
+      }
+      id_of.emplace(sig, net.AddNode(fanins, BuildSop(nm, k), sig));
+      visiting[sig] = false;
+      stack.pop_back();
+    }
+  };
+
+  for (const std::string& out_name : raw.outputs) {
+    elaborate(out_name);
+    net.AddOutput(out_name, id_of.at(out_name));
+  }
+  // Latch inputs (D nets) act as pseudo primary outputs of the core.
+  for (const BlifLatch& latch : raw.latches) {
+    elaborate(latch.input);
+    net.AddOutput(latch.input, id_of.at(latch.input));
+  }
+  net.CheckInvariants();
+  return circuit;
+}
+
+}  // namespace
+
+Network ReadBlif(std::istream& in) {
+  const RawModel raw = ParseRaw(in);
+  if (!raw.latches.empty()) {
+    throw ParseError(
+        "BLIF: sequential circuit (.latch) — use ReadBlifSequential");
+  }
+  return BuildCircuit(raw).network;
+}
+
+BlifCircuit ReadBlifSequential(std::istream& in) {
+  return BuildCircuit(ParseRaw(in));
+}
+
+BlifCircuit ReadBlifSequentialFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open BLIF file: " + path);
+  return ReadBlifSequential(f);
+}
+
+BlifCircuit ReadBlifSequentialString(const std::string& text) {
+  std::istringstream ss(text);
+  return ReadBlifSequential(ss);
+}
+
+Network ReadBlifFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open BLIF file: " + path);
+  return ReadBlif(f);
+}
+
+Network ReadBlifString(const std::string& text) {
+  std::istringstream ss(text);
+  return ReadBlif(ss);
+}
+
+void WriteBlif(const Network& net, std::ostream& out) {
+  out << ".model " << net.name() << "\n.inputs";
+  for (NodeId id : net.inputs()) out << ' ' << net.node_name(id);
+  out << "\n.outputs";
+  for (const auto& o : net.outputs()) out << ' ' << o.name;
+  out << '\n';
+
+  // Output names may differ from their driver node names; emit buffers then.
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    if (net.kind(id) != NodeKind::kLogic) continue;
+    const Sop& f = net.function(id);
+    out << ".names";
+    for (NodeId fin : net.fanins(id)) out << ' ' << net.node_name(fin);
+    out << ' ' << net.node_name(id) << '\n';
+    if (f.num_vars() == 0) {
+      if (f.IsConst1()) out << "1\n";
+      // constant 0: no cover lines
+      continue;
+    }
+    for (const Cube& c : f.cubes()) {
+      std::string row(static_cast<std::size_t>(f.num_vars()), '-');
+      for (int v = 0; v < f.num_vars(); ++v) {
+        if (c.HasVar(v)) row[static_cast<std::size_t>(v)] =
+            c.VarPhase(v) ? '1' : '0';
+      }
+      out << row << " 1\n";
+    }
+  }
+  for (const auto& o : net.outputs()) {
+    if (net.node_name(o.driver) != o.name) {
+      out << ".names " << net.node_name(o.driver) << ' ' << o.name << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string WriteBlifString(const Network& net) {
+  std::ostringstream ss;
+  WriteBlif(net, ss);
+  return ss.str();
+}
+
+void WriteBlifFile(const Network& net, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw ParseError("cannot open BLIF file for writing: " + path);
+  WriteBlif(net, f);
+}
+
+}  // namespace sm

@@ -1,0 +1,46 @@
+// BLIF (Berkeley Logic Interchange Format) reader and writer for
+// technology-independent networks. Supports the combinational subset
+// (.model/.inputs/.outputs/.names/.end, with on-set ("... 1") or off-set
+// ("... 0") single-output covers and constant nodes) plus sequential
+// circuits via combinational-core extraction: each `.latch` contributes its
+// output as a pseudo primary input and its input as a pseudo primary output
+// — the standard reduction under which speed-path analysis of a pipeline
+// stage is performed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "network/network.h"
+
+namespace sm {
+
+struct BlifLatch {
+  std::string input;   // the D net (exposed as PO "<input>" of the core)
+  std::string output;  // the Q net (exposed as PI of the core)
+  char initial;        // '0', '1', '2' (don't care) or '3' (unknown)
+};
+
+struct BlifCircuit {
+  Network network;  // combinational core
+  std::vector<BlifLatch> latches;
+
+  bool IsSequential() const { return !latches.empty(); }
+};
+
+// Combinational-only readers; throw ParseError on `.latch`.
+Network ReadBlif(std::istream& in);
+Network ReadBlifFile(const std::string& path);
+Network ReadBlifString(const std::string& text);
+
+// Sequential-aware readers (combinational core extraction as above).
+BlifCircuit ReadBlifSequential(std::istream& in);
+BlifCircuit ReadBlifSequentialFile(const std::string& path);
+BlifCircuit ReadBlifSequentialString(const std::string& text);
+
+void WriteBlif(const Network& net, std::ostream& out);
+std::string WriteBlifString(const Network& net);
+void WriteBlifFile(const Network& net, const std::string& path);
+
+}  // namespace sm

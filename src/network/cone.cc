@@ -1,0 +1,67 @@
+#include "network/cone.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+std::vector<NodeId> CollectMarked(const std::vector<bool>& marked) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < marked.size(); ++id) {
+    if (marked[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> TransitiveFanin(const Network& net,
+                                    const std::vector<NodeId>& roots) {
+  std::vector<bool> marked(net.NumNodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    SM_REQUIRE(r < net.NumNodes(), "cone root out of range");
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (marked[id]) continue;
+    marked[id] = true;
+    for (NodeId f : net.fanins(id)) stack.push_back(f);
+  }
+  return CollectMarked(marked);
+}
+
+std::vector<NodeId> ConeInputs(const Network& net,
+                               const std::vector<NodeId>& roots) {
+  std::vector<NodeId> cone = TransitiveFanin(net, roots);
+  std::vector<NodeId> out;
+  for (NodeId id : cone) {
+    if (net.kind(id) == NodeKind::kInput) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> TransitiveFanout(const Network& net,
+                                     const std::vector<NodeId>& roots) {
+  const auto& fanouts = net.Fanouts();
+  std::vector<bool> marked(net.NumNodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    SM_REQUIRE(r < net.NumNodes(), "cone root out of range");
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (marked[id]) continue;
+    marked[id] = true;
+    for (NodeId f : fanouts[id]) stack.push_back(f);
+  }
+  return CollectMarked(marked);
+}
+
+}  // namespace sm

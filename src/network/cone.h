@@ -1,0 +1,24 @@
+// Fanin/fanout cone extraction — used to find the internal nodes feeding a
+// critical output (the set Sec. 4 simplifies) and the support of each output.
+#pragma once
+
+#include <vector>
+
+#include "network/network.h"
+
+namespace sm {
+
+// All nodes (inputs included) in the transitive fanin of `roots`, ascending
+// id order (hence topologically sorted).
+std::vector<NodeId> TransitiveFanin(const Network& net,
+                                    const std::vector<NodeId>& roots);
+
+// Primary inputs in the transitive fanin of `roots`, ascending id order.
+std::vector<NodeId> ConeInputs(const Network& net,
+                               const std::vector<NodeId>& roots);
+
+// All nodes reachable from `roots` through fanout edges (roots included).
+std::vector<NodeId> TransitiveFanout(const Network& net,
+                                     const std::vector<NodeId>& roots);
+
+}  // namespace sm

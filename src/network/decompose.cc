@@ -1,0 +1,215 @@
+#include "network/decompose.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "boolean/isop.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+Sop And2Sop() {
+  return Sop(2, {Cube::Literal(0, true).Intersect(Cube::Literal(1, true))});
+}
+
+Sop InvSop() { return Sop(1, {Cube::Literal(0, false)}); }
+
+// Builds AND2/INV structure with structural hashing and per-node arrival
+// estimates (INV = 1, AND2 = 2 — the unit-delay ratios; only the relative
+// ordering matters). Trees are combined Huffman-style: earliest-arriving
+// operands first, which minimizes the tree's completion time.
+class Builder {
+ public:
+  explicit Builder(Network& out) : out_(out) {}
+
+  void NoteInput(NodeId id) { Arr(id) = 0.0; }
+
+  NodeId And(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    const auto it = and_cache_.find(key);
+    if (it != and_cache_.end()) return it->second;
+    const NodeId id = out_.AddNode({a, b}, And2Sop());
+    Arr(id) = std::max(Arr(a), Arr(b)) + 2.0;
+    and_cache_.emplace(key, id);
+    return id;
+  }
+
+  NodeId Not(NodeId a) {
+    const auto it = inv_cache_.find(a);
+    if (it != inv_cache_.end()) return it->second;
+    const NodeId id = out_.AddNode({a}, InvSop());
+    Arr(id) = Arr(a) + 1.0;
+    inv_cache_.emplace(a, id);
+    return id;
+  }
+
+  NodeId AndTree(std::vector<NodeId> ops) {
+    SM_CHECK(!ops.empty(), "AndTree needs operands");
+    auto later = [this](NodeId x, NodeId y) { return Arr(x) > Arr(y); };
+    std::priority_queue<NodeId, std::vector<NodeId>, decltype(later)> queue(
+        later, std::move(ops));
+    while (queue.size() > 1) {
+      const NodeId a = queue.top();
+      queue.pop();
+      const NodeId b = queue.top();
+      queue.pop();
+      queue.push(And(a, b));
+    }
+    return queue.top();
+  }
+
+  NodeId OrTree(std::vector<NodeId> ops) {
+    SM_CHECK(!ops.empty(), "OrTree needs operands");
+    if (ops.size() == 1) return ops[0];
+    for (NodeId& op : ops) op = Not(op);
+    return Not(AndTree(std::move(ops)));
+  }
+
+  // OR-of-AND structure for a cover; `leaf` maps SOP variables to nodes.
+  NodeId BuildSop(const Sop& f, const std::vector<NodeId>& leaf) {
+    SM_CHECK(!f.IsConst0() && !f.cubes().empty(), "constant covers handled by caller");
+    std::vector<NodeId> cube_roots;
+    cube_roots.reserve(f.NumCubes());
+    for (const Cube& c : f.cubes()) {
+      std::vector<NodeId> literals;
+      for (int v = 0; v < f.num_vars(); ++v) {
+        if (!c.HasVar(v)) continue;
+        const NodeId l = leaf[static_cast<std::size_t>(v)];
+        literals.push_back(c.VarPhase(v) ? l : Not(l));
+      }
+      SM_CHECK(!literals.empty(), "universe cube in a non-constant SOP");
+      cube_roots.push_back(AndTree(std::move(literals)));
+    }
+    return OrTree(std::move(cube_roots));
+  }
+
+  double Arrival(NodeId id) const {
+    const auto it = arrival_.find(id);
+    SM_CHECK(it != arrival_.end(), "arrival queried before construction");
+    return it->second;
+  }
+
+ private:
+  double& Arr(NodeId id) { return arrival_[id]; }
+
+  Network& out_;
+  std::unordered_map<std::uint64_t, NodeId> and_cache_;
+  std::unordered_map<NodeId, NodeId> inv_cache_;
+  std::unordered_map<NodeId, double> arrival_;
+};
+
+}  // namespace
+
+bool IsAndInvNetwork(const Network& net) {
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    if (net.kind(id) != NodeKind::kLogic) continue;
+    const Sop& f = net.function(id);
+    const bool is_and2 = f.num_vars() == 2 && f.NumCubes() == 1 &&
+                         f.cubes()[0].NumLiterals() == 2 &&
+                         f.cubes()[0].pos() == 0b11;
+    const bool is_inv = f.num_vars() == 1 && f.NumCubes() == 1 &&
+                        f.cubes()[0].neg() == 0b1 && f.cubes()[0].pos() == 0;
+    const bool is_buf = f.num_vars() == 1 && f.NumCubes() == 1 &&
+                        f.cubes()[0].pos() == 0b1 && f.cubes()[0].neg() == 0;
+    const bool is_const = f.num_vars() == 0;
+    if (!is_and2 && !is_inv && !is_buf && !is_const) return false;
+  }
+  return true;
+}
+
+DecomposeResult DecomposeToAndInv(const Network& net) {
+  DecomposeResult result{Network(net.name()),
+                         std::vector<NodeId>(net.NumNodes(), kInvalidNode)};
+  Network& out = result.network;
+  Builder b(out);
+
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    if (net.kind(id) == NodeKind::kInput) {
+      const NodeId pi = out.AddInput(net.node_name(id));
+      b.NoteInput(pi);
+      result.node_map[id] = pi;
+      continue;
+    }
+    const Sop& f = net.function(id);
+    const auto& fanins = net.fanins(id);
+
+    if (f.num_vars() == 0 || f.IsConst0() || f.IsConst1()) {
+      const NodeId c =
+          out.AddNode({}, f.IsConst1() ? Sop::Const1(0) : Sop::Const0(0));
+      b.NoteInput(c);  // constants are ready at time 0
+      result.node_map[id] = c;
+      continue;
+    }
+
+    std::vector<NodeId> leaf;
+    leaf.reserve(fanins.size());
+    for (NodeId fin : fanins) {
+      SM_CHECK(result.node_map[fin] != kInvalidNode,
+               "fanin not yet decomposed");
+      leaf.push_back(result.node_map[fin]);
+    }
+
+    // Dual-polarity decomposition: build both the cover of f and the
+    // inverted cover of ~f, keep the earlier-arriving root. Structural
+    // hashing dedupes shared pieces; the mapper only realizes the root it is
+    // asked for, so the losing branch costs nothing downstream.
+    const NodeId pos_root = b.BuildSop(f, leaf);
+    NodeId chosen = pos_root;
+    if (f.num_vars() <= kMaxTruthVars) {
+      const TruthTable tt = f.ToTruthTable();
+      const Sop comp = Isop(~tt, TruthTable::Const0(tt.num_vars()));
+      if (!comp.IsConst0() && !comp.cubes().empty()) {
+        const NodeId neg_root = b.Not(b.BuildSop(comp, leaf));
+        if (b.Arrival(neg_root) < b.Arrival(pos_root)) chosen = neg_root;
+      }
+    }
+    result.node_map[id] = chosen;
+  }
+
+  for (const auto& o : net.outputs()) {
+    out.AddOutput(o.name, result.node_map[o.driver]);
+  }
+
+  // Prune the losing dual-polarity branches: keep only nodes reachable from
+  // the outputs (inputs are always preserved).
+  std::vector<bool> live(out.NumNodes(), false);
+  {
+    std::vector<NodeId> stack;
+    for (const auto& o : out.outputs()) stack.push_back(o.driver);
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (live[id]) continue;
+      live[id] = true;
+      for (NodeId f : out.fanins(id)) stack.push_back(f);
+    }
+  }
+  Network pruned(out.name());
+  std::vector<NodeId> remap(out.NumNodes(), kInvalidNode);
+  for (NodeId id = 0; id < out.NumNodes(); ++id) {
+    if (out.kind(id) == NodeKind::kInput) {
+      remap[id] = pruned.AddInput(out.node_name(id));
+      continue;
+    }
+    if (!live[id]) continue;
+    std::vector<NodeId> fanins;
+    for (NodeId f : out.fanins(id)) fanins.push_back(remap[f]);
+    remap[id] = pruned.AddNode(fanins, out.function(id), out.node_name(id));
+  }
+  for (const auto& o : out.outputs()) {
+    pruned.AddOutput(o.name, remap[o.driver]);
+  }
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    if (result.node_map[id] != kInvalidNode) {
+      result.node_map[id] = remap[result.node_map[id]];
+    }
+  }
+  pruned.CheckInvariants();
+  result.network = std::move(pruned);
+  return result;
+}
+
+}  // namespace sm

@@ -1,0 +1,163 @@
+#include "network/eliminate.h"
+
+#include <algorithm>
+
+#include "boolean/isop.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+// A node's function expressed over *kept* nodes of the new network.
+struct Expr {
+  std::vector<NodeId> vars;  // new-network ids, ascending
+  TruthTable tt;             // over vars
+};
+
+Expr VarExpr(NodeId id) { return Expr{{id}, TruthTable::Var(0, 1)}; }
+
+// Composes `node_tt` (over `fanins`, each given as an Expr) into a single
+// expression over the union of the fanin variables.
+Expr Compose(const TruthTable& node_tt, const std::vector<Expr>& fanins) {
+  Expr out;
+  for (const Expr& f : fanins) {
+    for (NodeId v : f.vars) out.vars.push_back(v);
+  }
+  std::sort(out.vars.begin(), out.vars.end());
+  out.vars.erase(std::unique(out.vars.begin(), out.vars.end()),
+                 out.vars.end());
+  const int k = static_cast<int>(out.vars.size());
+  SM_CHECK(k <= kMaxTruthVars, "composition exceeded truth-table width");
+
+  // Remap each fanin expression onto the union variable space, then
+  // evaluate the node table by Shannon substitution.
+  std::vector<TruthTable> fanin_tts;
+  fanin_tts.reserve(fanins.size());
+  for (const Expr& f : fanins) {
+    std::vector<int> perm(f.vars.size());
+    for (std::size_t i = 0; i < f.vars.size(); ++i) {
+      const auto it =
+          std::lower_bound(out.vars.begin(), out.vars.end(), f.vars[i]);
+      perm[i] = static_cast<int>(it - out.vars.begin());
+    }
+    fanin_tts.push_back(f.tt.Remap(perm, std::max(k, 1)));
+  }
+
+  TruthTable result = TruthTable::Const0(std::max(k, 1));
+  for (std::uint64_t m = 0; m < node_tt.num_minterms_space(); ++m) {
+    if (!node_tt.Get(m)) continue;
+    TruthTable term = TruthTable::Const1(std::max(k, 1));
+    for (std::size_t p = 0; p < fanin_tts.size(); ++p) {
+      term = term & (((m >> p) & 1u) ? fanin_tts[p] : ~fanin_tts[p]);
+      if (term.IsConst0()) break;
+    }
+    result = result | term;
+  }
+  if (k == 0) {
+    out.tt = result.Get(0) ? TruthTable::Const1(0) : TruthTable::Const0(0);
+  } else {
+    out.tt = result;
+  }
+  return out;
+}
+
+}  // namespace
+
+Network EliminateNodes(const Network& net, const EliminateOptions& options) {
+  SM_REQUIRE(options.elim_width >= 1 && options.max_width >= options.elim_width,
+             "inconsistent eliminate widths");
+  SM_REQUIRE(options.max_width <= kMaxTruthVars &&
+                 options.max_width <= kMaxCubeVars,
+             "max_width exceeds representation limits");
+
+  const auto& fanouts = net.Fanouts();
+  std::vector<bool> is_driver(net.NumNodes(), false);
+  for (const auto& o : net.outputs()) is_driver[o.driver] = true;
+
+  Network out(net.name());
+  std::vector<Expr> expr(net.NumNodes());
+  std::vector<bool> materialized(net.NumNodes(), false);
+
+  // Turns an eliminated node into a real node of the new network.
+  auto materialize = [&](NodeId id) {
+    if (materialized[id]) return;
+    Expr& e = expr[id];
+    const NodeId created =
+        out.AddNode(e.vars,
+                    Isop(e.tt, TruthTable::Const0(e.tt.num_vars())),
+                    net.node_name(id));
+    e = VarExpr(created);
+    materialized[id] = true;
+  };
+
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    if (net.kind(id) == NodeKind::kInput) {
+      expr[id] = VarExpr(out.AddInput(net.node_name(id)));
+      materialized[id] = true;
+      continue;
+    }
+    // Nodes already wider than max_width are copied verbatim — composition
+    // could not represent them anyway.
+    if (static_cast<int>(net.fanins(id).size()) > options.max_width) {
+      std::vector<NodeId> fanins;
+      for (NodeId f : net.fanins(id)) {
+        materialize(f);
+        fanins.push_back(expr[f].vars[0]);
+      }
+      expr[id] = VarExpr(
+          out.AddNode(fanins, net.function(id), net.node_name(id)));
+      materialized[id] = true;
+      continue;
+    }
+    std::vector<Expr> fanin_exprs;
+    for (NodeId f : net.fanins(id)) fanin_exprs.push_back(expr[f]);
+
+    // Width control: if the composition would exceed max_width, materialize
+    // the widest eliminated fanins until it fits.
+    auto union_width = [&]() {
+      std::vector<NodeId> u;
+      for (const Expr& f : fanin_exprs) {
+        for (NodeId v : f.vars) u.push_back(v);
+      }
+      std::sort(u.begin(), u.end());
+      u.erase(std::unique(u.begin(), u.end()), u.end());
+      return static_cast<int>(u.size());
+    };
+    while (union_width() > options.max_width) {
+      // Find the fanin with the widest expression that is not yet a
+      // materialized single variable.
+      std::size_t widest = fanin_exprs.size();
+      std::size_t widest_size = 1;
+      for (std::size_t i = 0; i < fanin_exprs.size(); ++i) {
+        if (fanin_exprs[i].vars.size() > widest_size) {
+          widest_size = fanin_exprs[i].vars.size();
+          widest = i;
+        }
+      }
+      SM_CHECK(widest < fanin_exprs.size(),
+               "cannot reduce composition width below max_width");
+      const NodeId f = net.fanins(id)[widest];
+      materialize(f);
+      fanin_exprs[widest] = expr[f];
+    }
+
+    Expr composed = Compose(net.function(id).ToTruthTable(), fanin_exprs);
+    expr[id] = std::move(composed);
+    // Keep the node when it is too wide, too popular, or drives an output.
+    const bool keep =
+        static_cast<int>(expr[id].vars.size()) > options.elim_width ||
+        static_cast<int>(fanouts[id].size()) > options.max_fanout ||
+        is_driver[id];
+    if (keep) materialize(id);
+  }
+
+  for (const auto& o : net.outputs()) {
+    SM_CHECK(materialized[o.driver] && expr[o.driver].vars.size() == 1,
+             "output driver must be materialized");
+    out.AddOutput(o.name, expr[o.driver].vars[0]);
+  }
+  out.CheckInvariants();
+  return out;
+}
+
+}  // namespace sm

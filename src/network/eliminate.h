@@ -1,0 +1,28 @@
+// Bounded node elimination (SIS-style "eliminate"): small internal nodes are
+// substituted into their fanouts, flattening the network and cutting logic
+// depth. The masking flow runs this on the synthesized error-masking network
+// before delay-mode mapping — Σ-simplified node functions are small, so
+// collapsing them is what buys the ≥20% slack the paper requires of the
+// error-masking circuit.
+#pragma once
+
+#include "network/network.h"
+
+namespace sm {
+
+struct EliminateOptions {
+  // A node is a candidate for elimination while its expression (over kept
+  // nodes) has at most this many inputs.
+  int elim_width = 8;
+  // Consumers never grow beyond this many inputs; offending fanins are
+  // materialized as real nodes instead.
+  int max_width = 12;
+  // Nodes with more fanouts than this are kept (avoids area blow-up).
+  int max_fanout = 6;
+};
+
+// Returns a functionally equivalent network (same PI/PO interface, PO order
+// preserved) with eligible nodes folded into their consumers.
+Network EliminateNodes(const Network& net, const EliminateOptions& options = {});
+
+}  // namespace sm

@@ -1,0 +1,56 @@
+#include "network/global_bdd.h"
+
+#include "bdd/bdd_util.h"
+#include "network/cone.h"
+#include "util/check.h"
+
+namespace sm {
+
+std::vector<BddManager::Ref> BuildGlobalBdds(
+    BddManager& mgr, const Network& net, const std::vector<NodeId>& roots) {
+  SM_REQUIRE(mgr.num_vars() >= static_cast<int>(net.NumInputs()),
+             "BDD manager too narrow for this network");
+  std::vector<BddManager::Ref> global(net.NumNodes(), mgr.False());
+  const std::vector<NodeId> cone = TransitiveFanin(net, roots);
+  for (NodeId id : cone) {  // ascending ids — topological
+    if (net.kind(id) == NodeKind::kInput) {
+      global[id] = mgr.Var(net.InputIndex(id));
+      continue;
+    }
+    std::vector<BddManager::Ref> fanin_refs;
+    fanin_refs.reserve(net.fanins(id).size());
+    for (NodeId f : net.fanins(id)) fanin_refs.push_back(global[f]);
+    global[id] = SopToBdd(mgr, net.function(id), fanin_refs);
+  }
+  return global;
+}
+
+std::vector<BddManager::Ref> BuildGlobalBdds(BddManager& mgr,
+                                             const Network& net) {
+  std::vector<NodeId> roots;
+  roots.reserve(net.NumNodes());
+  for (NodeId id = 0; id < net.NumNodes(); ++id) roots.push_back(id);
+  return BuildGlobalBdds(mgr, net, roots);
+}
+
+int FirstMismatchingOutput(const Network& a, const Network& b) {
+  SM_REQUIRE(a.NumInputs() == b.NumInputs(),
+             "equivalence check requires matching input counts");
+  SM_REQUIRE(a.NumOutputs() == b.NumOutputs(),
+             "equivalence check requires matching output counts");
+  BddManager mgr(static_cast<int>(a.NumInputs()));
+  std::vector<NodeId> roots_a;
+  std::vector<NodeId> roots_b;
+  for (const auto& o : a.outputs()) roots_a.push_back(o.driver);
+  for (const auto& o : b.outputs()) roots_b.push_back(o.driver);
+  const auto ga = BuildGlobalBdds(mgr, a, roots_a);
+  const auto gb = BuildGlobalBdds(mgr, b, roots_b);
+  for (std::size_t i = 0; i < a.NumOutputs(); ++i) {
+    if (ga[a.output(i).driver] != gb[b.output(i).driver]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace sm

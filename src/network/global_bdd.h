@@ -1,0 +1,28 @@
+// Global BDD construction: one BDD over the primary-input space per network
+// node. Primary input i (in declaration order) maps to BDD variable i.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "network/network.h"
+
+namespace sm {
+
+// Computes global functions for every node of `net` in `mgr` (which must
+// have at least net.NumInputs() variables). Index by NodeId.
+std::vector<BddManager::Ref> BuildGlobalBdds(BddManager& mgr,
+                                             const Network& net);
+
+// Restricted variant: computes only nodes in the transitive fanin of `roots`
+// (other entries are left as BddManager::kFalse and must not be used).
+std::vector<BddManager::Ref> BuildGlobalBdds(BddManager& mgr,
+                                             const Network& net,
+                                             const std::vector<NodeId>& roots);
+
+// Functional-equivalence check of two networks with identical input/output
+// interfaces (by position); returns the index of the first mismatching
+// output, or -1 when equivalent.
+int FirstMismatchingOutput(const Network& a, const Network& b);
+
+}  // namespace sm

@@ -1,0 +1,75 @@
+#include "network/structural.h"
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+Cube AllPositive(int k) {
+  Cube c;
+  for (int v = 0; v < k; ++v) c = c.WithLiteral(v, true);
+  return c;
+}
+
+}  // namespace
+
+NodeId AddAnd(Network& net, std::vector<NodeId> ops, std::string name) {
+  const int k = static_cast<int>(ops.size());
+  SM_REQUIRE(k >= 1, "AND needs operands");
+  return net.AddNode(std::move(ops), Sop(k, {AllPositive(k)}),
+                     std::move(name));
+}
+
+NodeId AddOr(Network& net, std::vector<NodeId> ops, std::string name) {
+  const int k = static_cast<int>(ops.size());
+  SM_REQUIRE(k >= 1, "OR needs operands");
+  Sop f(k);
+  for (int v = 0; v < k; ++v) f.AddCube(Cube::Literal(v, true));
+  return net.AddNode(std::move(ops), std::move(f), std::move(name));
+}
+
+NodeId AddNand(Network& net, std::vector<NodeId> ops, std::string name) {
+  const int k = static_cast<int>(ops.size());
+  SM_REQUIRE(k >= 1, "NAND needs operands");
+  Sop f(k);
+  for (int v = 0; v < k; ++v) f.AddCube(Cube::Literal(v, false));
+  return net.AddNode(std::move(ops), std::move(f), std::move(name));
+}
+
+NodeId AddNor(Network& net, std::vector<NodeId> ops, std::string name) {
+  const int k = static_cast<int>(ops.size());
+  SM_REQUIRE(k >= 1, "NOR needs operands");
+  Cube c;
+  for (int v = 0; v < k; ++v) c = c.WithLiteral(v, false);
+  return net.AddNode(std::move(ops), Sop(k, {c}), std::move(name));
+}
+
+NodeId AddXor2(Network& net, NodeId a, NodeId b, std::string name) {
+  Sop f(2, {Cube::Literal(0, true).Intersect(Cube::Literal(1, false)),
+            Cube::Literal(0, false).Intersect(Cube::Literal(1, true))});
+  return net.AddNode({a, b}, std::move(f), std::move(name));
+}
+
+NodeId AddXnor2(Network& net, NodeId a, NodeId b, std::string name) {
+  Sop f(2, {Cube::Literal(0, true).Intersect(Cube::Literal(1, true)),
+            Cube::Literal(0, false).Intersect(Cube::Literal(1, false))});
+  return net.AddNode({a, b}, std::move(f), std::move(name));
+}
+
+NodeId AddNot(Network& net, NodeId a, std::string name) {
+  return net.AddNode({a}, Sop(1, {Cube::Literal(0, false)}), std::move(name));
+}
+
+NodeId AddBuf(Network& net, NodeId a, std::string name) {
+  return net.AddNode({a}, Sop(1, {Cube::Literal(0, true)}), std::move(name));
+}
+
+NodeId AddMux2(Network& net, NodeId sel, NodeId in0, NodeId in1,
+               std::string name) {
+  // Variable order: 0 = sel, 1 = in0, 2 = in1. f = s'·in0 + s·in1.
+  Sop f(3, {Cube::Literal(0, false).Intersect(Cube::Literal(1, true)),
+            Cube::Literal(0, true).Intersect(Cube::Literal(2, true))});
+  return net.AddNode({sel, in0, in1}, std::move(f), std::move(name));
+}
+
+}  // namespace sm

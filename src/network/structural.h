@@ -1,0 +1,25 @@
+// Convenience factories for building networks gate-by-gate: AND/OR/XOR/NOT
+// node helpers over arbitrary operand counts. Used by the structured example
+// circuits and by tests.
+#pragma once
+
+#include <vector>
+
+#include "network/network.h"
+
+namespace sm {
+
+// Each helper appends one logic node computing the named function of the
+// operands and returns its id.
+NodeId AddAnd(Network& net, std::vector<NodeId> ops, std::string name = "");
+NodeId AddOr(Network& net, std::vector<NodeId> ops, std::string name = "");
+NodeId AddNand(Network& net, std::vector<NodeId> ops, std::string name = "");
+NodeId AddNor(Network& net, std::vector<NodeId> ops, std::string name = "");
+NodeId AddXor2(Network& net, NodeId a, NodeId b, std::string name = "");
+NodeId AddXnor2(Network& net, NodeId a, NodeId b, std::string name = "");
+NodeId AddNot(Network& net, NodeId a, std::string name = "");
+NodeId AddBuf(Network& net, NodeId a, std::string name = "");
+NodeId AddMux2(Network& net, NodeId sel, NodeId in0, NodeId in1,
+               std::string name = "");
+
+}  // namespace sm

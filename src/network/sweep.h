@@ -1,0 +1,31 @@
+// Network cleanup: constant propagation, vacuous-fanin elimination, buffer
+// collapsing, structural hashing of identical nodes, and dangling-node
+// removal. Produces a fresh network plus an old→new node map. Run after
+// masking synthesis rewrites node functions so the error-masking network maps
+// small.
+#pragma once
+
+#include <vector>
+
+#include "network/network.h"
+
+namespace sm {
+
+struct SweepResult {
+  Network network;
+  // old NodeId -> new NodeId, or kInvalidNode when the node was removed.
+  std::vector<NodeId> node_map;
+  std::size_t removed_nodes = 0;
+  std::size_t folded_constants = 0;
+};
+
+struct SweepOptions {
+  bool propagate_constants = true;
+  bool drop_vacuous_fanins = true;
+  bool collapse_buffers = true;
+  bool hash_identical_nodes = true;
+};
+
+SweepResult Sweep(const Network& net, const SweepOptions& options = {});
+
+}  // namespace sm

@@ -1,0 +1,30 @@
+#include "network/topo.h"
+
+#include <algorithm>
+
+namespace sm {
+
+std::vector<NodeId> TopologicalOrder(const Network& net) {
+  std::vector<NodeId> order(net.NumNodes());
+  for (NodeId id = 0; id < order.size(); ++id) order[id] = id;
+  return order;
+}
+
+std::vector<int> Levels(const Network& net) {
+  std::vector<int> level(net.NumNodes(), 0);
+  for (NodeId id = 0; id < net.NumNodes(); ++id) {
+    int l = 0;
+    for (NodeId f : net.fanins(id)) l = std::max(l, level[f] + 1);
+    level[id] = l;
+  }
+  return level;
+}
+
+int MaxLevel(const Network& net) {
+  const std::vector<int> level = Levels(net);
+  int best = 0;
+  for (const auto& o : net.outputs()) best = std::max(best, level[o.driver]);
+  return best;
+}
+
+}  // namespace sm

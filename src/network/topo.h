@@ -1,0 +1,23 @@
+// Topological utilities.
+//
+// Network construction already enforces fanin-before-node ordering, so node
+// ids are a valid topological order; these helpers make that contract
+// explicit and add levelization.
+#pragma once
+
+#include <vector>
+
+#include "network/network.h"
+
+namespace sm {
+
+// All node ids in a topological order (inputs first within ties).
+std::vector<NodeId> TopologicalOrder(const Network& net);
+
+// Logic depth per node: inputs are level 0, a logic node is
+// 1 + max(level of fanins). Constant nodes (no fanins) are level 0.
+std::vector<int> Levels(const Network& net);
+
+int MaxLevel(const Network& net);
+
+}  // namespace sm

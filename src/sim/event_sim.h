@@ -1,0 +1,46 @@
+// Event-driven timing simulation (transport-delay model).
+//
+// Simulates the application of a new input pattern to a circuit in steady
+// state under the previous pattern, with per-gate extra delay injection to
+// model aging / voltage-induced slowdown. The sampled value of each element
+// at the clock edge is compared against its final (settled) value to decide
+// whether a timing error occurred — the ground truth the error-masking
+// experiments (wearout monitor, fault injection, DVS explorer) check against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "map/mapped_netlist.h"
+
+namespace sm {
+
+struct EventSimConfig {
+  // Sampling instant (clock period). Values still changing after `clock`
+  // make the element a timing-error victim for this pattern pair.
+  double clock = 0;
+  // Additive delay applied to every pin of the element (aging injection);
+  // empty means zero everywhere. Indexed by GateId.
+  std::vector<double> extra_delay;
+};
+
+struct EventSimResult {
+  std::vector<bool> sampled;      // value at the clock edge, per element
+  std::vector<bool> settled;      // final steady-state value, per element
+  std::vector<double> settle_at;  // time of last value change, per element
+  std::size_t events = 0;         // processed event count (glitches included)
+
+  bool TimingErrorAt(GateId id) const { return sampled[id] != settled[id]; }
+};
+
+// `previous` / `next` hold one bit per primary input (declaration order).
+EventSimResult SimulateTransition(const MappedNetlist& net,
+                                  const std::vector<bool>& previous,
+                                  const std::vector<bool>& next,
+                                  const EventSimConfig& config);
+
+// Convenience: zero-delay steady-state evaluation of a single pattern.
+std::vector<bool> SteadyState(const MappedNetlist& net,
+                              const std::vector<bool>& pattern);
+
+}  // namespace sm

@@ -1,0 +1,25 @@
+#include "sim/power.h"
+
+#include "util/check.h"
+
+namespace sm {
+
+PowerReport PowerFromActivity(const MappedNetlist& net,
+                              const ActivityEstimate& activity) {
+  SM_REQUIRE(activity.activity.size() == net.NumElements(),
+             "activity profile does not match the netlist");
+  PowerReport report;
+  for (GateId id = 0; id < net.NumElements(); ++id) {
+    if (net.IsInput(id)) continue;
+    report.dynamic += activity.activity[id] * net.cell(id).switch_energy();
+  }
+  report.area = net.TotalArea();
+  report.patterns = activity.patterns;
+  return report;
+}
+
+PowerReport EstimatePower(const MappedNetlist& net, Rng& rng, int num_words) {
+  return PowerFromActivity(net, EstimateActivity(net, rng, num_words));
+}
+
+}  // namespace sm

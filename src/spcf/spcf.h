@@ -1,0 +1,64 @@
+// Speed-path characteristic function computation (Sec. 3 of the paper).
+//
+// For target arrival Δ_y = (1 − guard_band)·Δ, the SPCF of output y is the
+// set of input patterns whose response at y settles strictly after Δ_y.
+// Three algorithms, matching Table 1:
+//   kNodeBased          — over-approximation of Su et al. [22]; fastest,
+//                         superset of the exact SPCF.
+//   kPathBasedExtension — exact; computes both long- and short-path
+//                         activation functions (≈3-4× the work) and
+//                         cross-checks them.
+//   kShortPathBased     — the paper's proposed algorithm (Eqn. 1): exact,
+//                         short-path functions only.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "map/mapped_netlist.h"
+#include "spcf/timed_function.h"
+#include "sta/sta.h"
+
+namespace sm {
+
+enum class SpcfAlgorithm {
+  kNodeBased,
+  kPathBasedExtension,
+  kShortPathBased,
+};
+
+const char* ToString(SpcfAlgorithm a);
+
+struct SpcfOptions {
+  SpcfAlgorithm algorithm = SpcfAlgorithm::kShortPathBased;
+  // Speed-paths within this fraction of the clock are targeted:
+  // Δ_y = (1 − guard_band) · clock.
+  double guard_band = 0.1;
+};
+
+struct SpcfResult {
+  double target_arrival = 0;  // Δ_y in delay units
+  // Output indices whose SPCF is non-empty (the "critical POs" of Table 2).
+  std::vector<std::size_t> critical_outputs;
+  // Per output index: Σ_y (BddManager::kFalse for non-critical outputs).
+  std::vector<BddManager::Ref> sigma;
+  BddManager::Ref sigma_union = BddManager::kFalse;
+  // SatCount of the union over all primary inputs ("critical minterms").
+  double critical_minterms = 0;
+  double log2_critical_minterms = 0;
+  // Work statistics for the Table 1 comparison.
+  double runtime_seconds = 0;
+  std::size_t expansions = 0;
+};
+
+// `engine` carries the memoization across calls (e.g. masking synthesis
+// reuses the SPCF engine). `timing` supplies the clock; global BDDs must
+// already be installed in the engine's manager.
+SpcfResult ComputeSpcf(TimedFunctionEngine& engine, const MappedNetlist& net,
+                       const TimingInfo& timing, const SpcfOptions& options);
+
+// Convenience wrapper that builds global BDDs and an engine internally.
+SpcfResult ComputeSpcf(BddManager& mgr, const MappedNetlist& net,
+                       const TimingInfo& timing, const SpcfOptions& options);
+
+}  // namespace sm

@@ -1,0 +1,207 @@
+#include "spcf/timed_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+constexpr std::int64_t kInfTicks = std::numeric_limits<std::int64_t>::max() / 4;
+
+}  // namespace
+
+TimedFunctionEngine::TimedFunctionEngine(
+    BddManager& mgr, const MappedNetlist& net,
+    const std::vector<BddManager::Ref>& global,
+    const std::vector<double>* delay_scale)
+    : mgr_(mgr), net_(net), global_(global) {
+  SM_REQUIRE(global.size() == net.NumElements(),
+             "global BDD vector must cover every element");
+  SM_REQUIRE(delay_scale == nullptr || delay_scale->size() == net.NumElements(),
+             "delay scale must be per-element");
+  const std::size_t n = net.NumElements();
+  pin_ticks_.resize(n);
+  min_arr_.assign(n, 0);
+  max_arr_.assign(n, 0);
+  for (GateId id = 0; id < n; ++id) {
+    if (net.IsInput(id)) continue;
+    const Cell& cell = net.cell(id);
+    auto& ticks = pin_ticks_[id];
+    ticks.resize(static_cast<std::size_t>(cell.num_pins()));
+    if (cell.IsConstant()) continue;
+    const double scale = delay_scale == nullptr ? 1.0 : (*delay_scale)[id];
+    std::int64_t max_a = std::numeric_limits<std::int64_t>::min();
+    std::int64_t min_a = kInfTicks;
+    const auto& fin = net.fanins(id);
+    for (int p = 0; p < cell.num_pins(); ++p) {
+      ticks[static_cast<std::size_t>(p)] = ToTicks(cell.pin_delay(p) * scale);
+      const GateId f = fin[static_cast<std::size_t>(p)];
+      max_a = std::max(max_a, max_arr_[f] + ticks[static_cast<std::size_t>(p)]);
+      min_a = std::min(min_a, min_arr_[f] + ticks[static_cast<std::size_t>(p)]);
+    }
+    max_arr_[id] = max_a;
+    min_arr_[id] = min_a;
+  }
+}
+
+std::int64_t TimedFunctionEngine::ToTicks(double t) {
+  return static_cast<std::int64_t>(std::llround(t * kTicksPerUnit));
+}
+
+TimedFunctionEngine::Key TimedFunctionEngine::MakeKey(GateId z, bool v,
+                                                      std::int64_t t) {
+  constexpr std::int64_t kBias = std::int64_t{1} << 35;
+  SM_CHECK(t > -kBias && t < kBias, "time out of key range");
+  return Key{(static_cast<std::uint64_t>(z) << 37) |
+             (static_cast<std::uint64_t>(v) << 36) |
+             static_cast<std::uint64_t>(t + kBias)};
+}
+
+std::int64_t TimedFunctionEngine::PinDelayTicks(GateId z, int pin) const {
+  return pin_ticks_[z][static_cast<std::size_t>(pin)];
+}
+
+BddManager::Ref TimedFunctionEngine::Chi(GateId z, bool v,
+                                         std::int64_t t_ticks) {
+  if (t_ticks >= max_arr_[z]) {
+    return v ? global_[z] : mgr_.Not(global_[z]);
+  }
+  if (t_ticks < min_arr_[z]) return mgr_.False();
+
+  const Key key = MakeKey(z, v, t_ticks);
+  const auto it = chi_memo_.find(key);
+  if (it != chi_memo_.end()) return it->second;
+  ++expansions_;
+
+  SM_CHECK(!net_.IsInput(z), "inputs are fully handled by the window prune");
+  const Cell& cell = net_.cell(z);
+  const Sop& primes = v ? cell.OnSetPrimes() : cell.OffSetPrimes();
+  const auto& fin = net_.fanins(z);
+
+  BddManager::Ref out = mgr_.False();
+  for (const Cube& p : primes.cubes()) {
+    BddManager::Ref term = mgr_.True();
+    for (int pin = 0; pin < cell.num_pins() && term != mgr_.False(); ++pin) {
+      if (!p.HasVar(pin)) continue;
+      const GateId u = fin[static_cast<std::size_t>(pin)];
+      term = mgr_.And(
+          term, Chi(u, p.VarPhase(pin), t_ticks - PinDelayTicks(z, pin)));
+    }
+    out = mgr_.Or(out, term);
+    if (out == mgr_.True()) break;
+  }
+  chi_memo_.emplace(key, out);
+  return out;
+}
+
+BddManager::Ref TimedFunctionEngine::SettledBy(GateId z,
+                                               std::int64_t t_ticks) {
+  return mgr_.Or(Chi(z, true, t_ticks), Chi(z, false, t_ticks));
+}
+
+BddManager::Ref TimedFunctionEngine::Spcf(GateId z, std::int64_t t_ticks) {
+  return mgr_.Not(SettledBy(z, t_ticks));
+}
+
+BddManager::Ref TimedFunctionEngine::LongPathActivation(GateId z, bool v,
+                                                        std::int64_t t_ticks) {
+  const BddManager::Ref final_v =
+      v ? global_[z] : mgr_.Not(global_[z]);
+  if (t_ticks >= max_arr_[z]) return mgr_.False();
+  if (t_ticks < min_arr_[z]) return final_v;
+
+  const Key key = MakeKey(z, v, t_ticks);
+  const auto it = long_memo_.find(key);
+  if (it != long_memo_.end()) return it->second;
+  ++expansions_;
+
+  SM_CHECK(!net_.IsInput(z), "inputs are fully handled by the window prune");
+  const Cell& cell = net_.cell(z);
+  const Sop& primes = v ? cell.OnSetPrimes() : cell.OffSetPrimes();
+  const auto& fin = net_.fanins(z);
+
+  // z has final value v yet is unsettled at t iff *every* v-prime has some
+  // literal that is not settled-to-true by t − δ: the literal either has the
+  // wrong final value or is itself still in flight.
+  BddManager::Ref out = final_v;
+  for (const Cube& p : primes.cubes()) {
+    BddManager::Ref some_late = mgr_.False();
+    for (int pin = 0; pin < cell.num_pins(); ++pin) {
+      if (!p.HasVar(pin)) continue;
+      const GateId u = fin[static_cast<std::size_t>(pin)];
+      const bool ph = p.VarPhase(pin);
+      const BddManager::Ref u_final =
+          ph ? global_[u] : mgr_.Not(global_[u]);
+      const BddManager::Ref late =
+          mgr_.Or(mgr_.Not(u_final),
+                  LongPathActivation(u, ph, t_ticks - PinDelayTicks(z, pin)));
+      some_late = mgr_.Or(some_late, late);
+      if (some_late == mgr_.True()) break;
+    }
+    out = mgr_.And(out, some_late);
+    if (out == mgr_.False()) break;
+  }
+  long_memo_.emplace(key, out);
+  return out;
+}
+
+void TimedFunctionEngine::EnsureRequiredTimes(std::int64_t target_ticks) {
+  if (node_target_ == target_ticks) return;
+  node_target_ = target_ticks;
+  node_memo_.clear();
+  required_.assign(net_.NumElements(), kInfTicks);
+  for (const auto& o : net_.outputs()) {
+    required_[o.driver] = std::min(required_[o.driver], target_ticks);
+  }
+  for (GateId id = static_cast<GateId>(net_.NumElements()); id-- > 0;) {
+    if (net_.IsInput(id) || required_[id] >= kInfTicks) continue;
+    const Cell& cell = net_.cell(id);
+    const auto& fin = net_.fanins(id);
+    for (int p = 0; p < cell.num_pins(); ++p) {
+      const GateId f = fin[static_cast<std::size_t>(p)];
+      required_[f] =
+          std::min(required_[f], required_[id] - PinDelayTicks(id, p));
+    }
+  }
+}
+
+BddManager::Ref TimedFunctionEngine::NodeBudgetChi(GateId z, bool v,
+                                                   std::int64_t target_ticks) {
+  EnsureRequiredTimes(target_ticks);
+  const std::int64_t budget = required_[z];
+  if (budget >= max_arr_[z]) return v ? global_[z] : mgr_.Not(global_[z]);
+  if (budget < min_arr_[z]) return mgr_.False();
+
+  const Key key = MakeKey(z, v, 0);  // one entry per (z, v) and target
+  const auto it = node_memo_.find(key);
+  if (it != node_memo_.end()) return it->second;
+  ++expansions_;
+
+  SM_CHECK(!net_.IsInput(z), "inputs are fully handled by the window prune");
+  const Cell& cell = net_.cell(z);
+  const Sop& primes = v ? cell.OnSetPrimes() : cell.OffSetPrimes();
+  const auto& fin = net_.fanins(z);
+
+  BddManager::Ref out = mgr_.False();
+  for (const Cube& p : primes.cubes()) {
+    BddManager::Ref term = mgr_.True();
+    for (int pin = 0; pin < cell.num_pins() && term != mgr_.False(); ++pin) {
+      if (!p.HasVar(pin)) continue;
+      const GateId u = fin[static_cast<std::size_t>(pin)];
+      // Node-based static budgeting: the fanin is charged against its own
+      // required time (min over all its fanouts) instead of the
+      // path-accurate budget — the source of the over-approximation when a
+      // multi-fanout gate is critical along only one branch.
+      term = mgr_.And(term, NodeBudgetChi(u, p.VarPhase(pin), target_ticks));
+    }
+    out = mgr_.Or(out, term);
+    if (out == mgr_.True()) break;
+  }
+  node_memo_.emplace(key, out);
+  return out;
+}
+
+}  // namespace sm

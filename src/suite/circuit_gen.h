@@ -1,0 +1,52 @@
+// Seeded synthetic benchmark generator.
+//
+// The paper evaluates on MCNC/ISCAS-85 netlists and OpenSPARC T1 control
+// modules, which are not redistributable here. The generator produces
+// deterministic (name-seeded) multi-level control-logic-like networks with
+// the same I/O counts and comparable sizes. Two profiles:
+//
+//  * kDenseControl — few inputs, deep layered random logic (MCNC-style
+//    alu/apex circuits);
+//  * kSlicedControl — wide I/O, shallow per-slice cones with limited
+//    cross-slice mixing (OpenSPARC decode/control style). Slicing bounds
+//    every output's support, which is what keeps global BDDs small on
+//    881-input modules — the same property real decoded control logic has.
+//
+// A configurable number of "spine" chains is made deliberately deeper than
+// the bulk logic so that a minority (~20%) of outputs carry speed-paths,
+// matching the paper's observation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "network/network.h"
+
+namespace sm {
+
+struct CircuitSpec {
+  std::string name;
+  int num_inputs = 8;
+  int num_outputs = 4;
+  // Approximate technology-independent node count; mapped gate counts land
+  // in the same ballpark after decomposition + mapping.
+  int target_nodes = 50;
+
+  enum class Profile { kDenseControl, kSlicedControl };
+  Profile profile = Profile::kDenseControl;
+
+  // Fraction of outputs fed by the deep spines (speed-path carriers).
+  double spine_output_fraction = 0.2;
+  // Spine depth relative to the bulk logic depth (> 1 makes spines the
+  // critical paths).
+  double spine_depth_factor = 1.6;
+  // Inputs per slice for the sliced profile.
+  int slice_width = 12;
+
+  // 0 means "derive from the name" (stable across runs).
+  std::uint64_t seed = 0;
+};
+
+Network GenerateCircuit(const CircuitSpec& spec);
+
+}  // namespace sm

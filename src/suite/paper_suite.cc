@@ -1,0 +1,88 @@
+#include "suite/paper_suite.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+using Profile = CircuitSpec::Profile;
+
+CircuitSpec Make(const char* name, int inputs, int outputs, int paper_gates,
+                 Profile profile) {
+  CircuitSpec s;
+  s.name = name;
+  s.num_inputs = inputs;
+  s.num_outputs = outputs;
+  // The paper reports mapped gate counts; our decomposition + mapper expand
+  // a technology-independent node into roughly 1.3-2 gates, so aim a bit
+  // lower on the node budget.
+  s.target_nodes = std::max(8, paper_gates * 2 / 3);
+  s.profile = profile;
+  return s;
+}
+
+std::vector<PaperCircuitInfo> BuildTable2() {
+  std::vector<PaperCircuitInfo> t;
+  auto add = [&t](const char* name, int i, int o, int gates, Profile p) {
+    t.push_back(PaperCircuitInfo{Make(name, i, o, gates, p), gates});
+  };
+  // MCNC / ISCAS-85 circuits: dense control profile.
+  add("i1", 25, 16, 33, Profile::kDenseControl);
+  add("cmb", 16, 4, 13, Profile::kDenseControl);
+  add("x2", 10, 7, 26, Profile::kDenseControl);
+  add("cu", 14, 11, 26, Profile::kDenseControl);
+  add("too_large", 38, 3, 230, Profile::kDenseControl);
+  add("k2", 45, 45, 649, Profile::kSlicedControl);
+  add("alu2", 10, 6, 190, Profile::kDenseControl);
+  add("alu4", 14, 8, 355, Profile::kDenseControl);
+  add("apex4", 9, 19, 973, Profile::kDenseControl);
+  add("apex6", 135, 99, 392, Profile::kSlicedControl);
+  add("frg1", 28, 3, 56, Profile::kDenseControl);
+  add("C432", 36, 7, 95, Profile::kDenseControl);
+  add("C880", 60, 26, 180, Profile::kSlicedControl);
+  add("C2670", 233, 140, 369, Profile::kSlicedControl);
+  // OpenSPARC T1 modules: sliced (decoded-control) profile.
+  add("sparc_ifu_dec", 131, 146, 556, Profile::kSlicedControl);
+  add("sparc_ifu_invctl", 212, 72, 312, Profile::kSlicedControl);
+  add("sparc_ifu_ifqdp", 882, 987, 1974, Profile::kSlicedControl);
+  add("sparc_ifu_dcl", 136, 94, 310, Profile::kSlicedControl);
+  add("lsu_stb_ctl", 182, 169, 810, Profile::kSlicedControl);
+  add("sparc_exu_ecl", 572, 634, 1515, Profile::kSlicedControl);
+  return t;
+}
+
+std::vector<PaperCircuitInfo> BuildTable1() {
+  std::vector<PaperCircuitInfo> t;
+  auto add = [&t](const char* name, int i, int o, int gates, Profile p) {
+    t.push_back(PaperCircuitInfo{Make(name, i, o, gates, p), gates});
+  };
+  // Table 1 prints slightly different interface counts for two modules;
+  // we follow Table 1 here (the circuits are distinct instances).
+  add("C432", 36, 7, 147, Profile::kDenseControl);
+  add("C2670", 233, 140, 568, Profile::kSlicedControl);
+  add("sparc_ifu_dec", 131, 146, 887, Profile::kSlicedControl);
+  add("sparc_ifu_invctl", 173, 115, 442, Profile::kSlicedControl);
+  add("lsu_stb_ctl", 182, 169, 810, Profile::kSlicedControl);
+  return t;
+}
+
+}  // namespace
+
+std::vector<PaperCircuitInfo> Table2Circuits() { return BuildTable2(); }
+
+std::vector<PaperCircuitInfo> Table1Circuits() { return BuildTable1(); }
+
+PaperCircuitInfo PaperCircuitByName(const std::string& name) {
+  for (const auto& c : BuildTable2()) {
+    if (c.spec.name == name) return c;
+  }
+  for (const auto& c : BuildTable1()) {
+    if (c.spec.name == name) return c;
+  }
+  SM_REQUIRE(false, "unknown paper circuit: " << name);
+  SM_UNREACHABLE("unreachable");
+}
+
+}  // namespace sm

@@ -1,0 +1,28 @@
+// The paper's benchmark list (Tables 1 and 2) instantiated as named,
+// deterministic synthetic circuits with the paper's I/O counts and
+// comparable sizes (see DESIGN.md §2 for the substitution rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "suite/circuit_gen.h"
+
+namespace sm {
+
+struct PaperCircuitInfo {
+  CircuitSpec spec;
+  int paper_gates;  // "No. gates" as printed in the paper's Table 2
+};
+
+// The 20 circuits of Table 2, in the paper's order.
+std::vector<PaperCircuitInfo> Table2Circuits();
+
+// The 5 circuits of Table 1 (SPCF accuracy/runtime comparison), with the
+// I/O counts printed there.
+std::vector<PaperCircuitInfo> Table1Circuits();
+
+// Looks a circuit up by name in either table; throws when unknown.
+PaperCircuitInfo PaperCircuitByName(const std::string& name);
+
+}  // namespace sm

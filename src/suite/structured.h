@@ -1,0 +1,33 @@
+// Hand-built structured circuits used by the worked example, the examples/
+// programs and the tests: the paper's Fig. 2(a) comparator (both
+// technology-independent and gate-exact mapped forms), ripple comparators,
+// ripple-carry adders and a small ALU.
+#pragma once
+
+#include "liblib/library.h"
+#include "map/mapped_netlist.h"
+#include "network/network.h"
+
+namespace sm {
+
+// The 2-bit comparator of Fig. 2(a): y = a1·b1' + (a0 + b0')·(a1 + b1'),
+// technology-independent, structured exactly like the figure.
+Network Comparator2Network();
+
+// The same circuit built gate-for-gate as a mapped netlist; with
+// UnitLibrary() this reproduces the paper's delays (Δ = 7, two speed-paths).
+// `lib` needs INV/AND2/OR2 and must outlive the netlist.
+MappedNetlist Comparator2Mapped(const Library& lib);
+
+// N-bit MSB-priority ripple comparator computing a >= b (deep chain).
+Network RippleComparatorNetwork(int bits);
+
+// N-bit ripple-carry adder: inputs a0..aN-1, b0..bN-1, cin; outputs
+// s0..sN-1, cout.
+Network RippleCarryAdderNetwork(int bits);
+
+// Small ALU over two N-bit operands with a 2-bit opcode:
+//   00: add, 01: and, 10: or, 11: xor. Outputs r0..rN-1 (and carry for add).
+Network MiniAluNetwork(int bits);
+
+}  // namespace sm

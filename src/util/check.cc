@@ -1,0 +1,27 @@
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+std::string Format(const char* kind, const char* file, int line,
+                   const char* cond, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " at " << file << ':' << line << ": (" << cond << ')';
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+
+}  // namespace
+
+void ThrowInternal(const char* file, int line, const char* cond,
+                   const std::string& msg) {
+  throw InternalError(Format("invariant violation", file, line, cond, msg));
+}
+
+void ThrowRequire(const char* file, int line, const char* cond,
+                  const std::string& msg) {
+  throw std::invalid_argument(
+      Format("precondition violation", file, line, cond, msg));
+}
+
+}  // namespace sm

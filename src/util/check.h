@@ -1,0 +1,52 @@
+// Checked-invariant support.
+//
+// SM_CHECK(cond, msg)  — always-on invariant check; throws sm::InternalError.
+// SM_REQUIRE(cond,msg) — precondition check on public API; throws
+//                        std::invalid_argument.
+// SM_UNREACHABLE(msg)  — marks logically dead branches.
+//
+// Exceptions (not abort) are used so tests can assert on violations and so a
+// long benchmark run can report which circuit triggered a failure.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sm {
+
+// Raised when an internal invariant is violated; indicates a bug in speedmask
+// itself rather than bad user input.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Raised by parsers and loaders on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void ThrowInternal(const char* file, int line, const char* cond,
+                                const std::string& msg);
+[[noreturn]] void ThrowRequire(const char* file, int line, const char* cond,
+                               const std::string& msg);
+
+}  // namespace sm
+
+#define SM_CHECK(cond, msg)                                     \
+  do {                                                          \
+    if (!(cond)) ::sm::ThrowInternal(__FILE__, __LINE__, #cond, \
+                                     (std::ostringstream{} << msg).str()); \
+  } while (0)
+
+#define SM_REQUIRE(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) ::sm::ThrowRequire(__FILE__, __LINE__, #cond, \
+                                    (std::ostringstream{} << msg).str()); \
+  } while (0)
+
+#define SM_UNREACHABLE(msg) \
+  ::sm::ThrowInternal(__FILE__, __LINE__, "unreachable", \
+                      (std::ostringstream{} << msg).str())

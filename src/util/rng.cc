@@ -1,0 +1,94 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm_state = seed;
+  for (auto& s : s_) s = SplitMix64(sm_state);
+  // All-zero state is the one forbidden state of xoshiro; splitmix cannot
+  // produce four zero outputs from any seed, but keep the guard explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  SM_REQUIRE(bound > 0, "Rng::Below bound must be positive");
+  // Lemire-style rejection: threshold is 2^64 mod bound.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::Range(std::int64_t lo, std::int64_t hi) {
+  SM_REQUIRE(lo <= hi, "Rng::Range requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(Below(span));
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+std::vector<std::size_t> Rng::Sample(std::size_t n, std::size_t k) {
+  SM_REQUIRE(k <= n, "Rng::Sample requires k <= n");
+  // Selection sampling (Knuth algorithm S): O(n), deterministic order.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::size_t remaining = k;
+  for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+    const std::size_t left = n - i;
+    if (Below(left) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+std::uint64_t HashName(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sm

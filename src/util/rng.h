@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Everything in speedmask that needs randomness (the synthetic circuit
+// generator, random-pattern simulation, property tests) goes through Rng so
+// that results are reproducible across platforms: no std::mt19937 state-size
+// surprises, no distribution implementation divergence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sm {
+
+// splitmix64: used to expand a seed into stream seeds.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** by Blackman & Vigna — fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound); bound must be > 0. Uses rejection sampling so the
+  // distribution is exactly uniform.
+  std::uint64_t Below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Bernoulli with probability p.
+  bool Chance(double p);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Picks k distinct indices from [0, n). k must be <= n.
+  std::vector<std::size_t> Sample(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Stable 64-bit hash of a string (FNV-1a), used to derive per-circuit seeds
+// from circuit names.
+std::uint64_t HashName(const char* s);
+
+}  // namespace sm

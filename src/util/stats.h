@@ -1,0 +1,37 @@
+// Small statistics helpers used by reports and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sm {
+
+// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile over a copy of the samples; p in [0, 100].
+double Percentile(std::vector<double> samples, double p);
+
+// Geometric mean; all samples must be > 0. Returns 0 for empty input.
+double GeometricMean(const std::vector<double>& samples);
+
+}  // namespace sm

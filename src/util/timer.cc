@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only today; the translation unit exists so the target always has at
+// least one object file and to reserve a home for future CPU-time helpers.

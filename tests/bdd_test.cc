@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bdd/bdd.h"
+#include "bdd/bdd_util.h"
+#include "boolean/isop.h"
+#include "util/rng.h"
+
+namespace sm {
+namespace {
+
+using Ref = BddManager::Ref;
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.False(), BddManager::kFalse);
+  EXPECT_EQ(mgr.True(), BddManager::kTrue);
+  const Ref x = mgr.Var(0);
+  EXPECT_EQ(mgr.TopVar(x), 0);
+  EXPECT_EQ(mgr.Low(x), mgr.False());
+  EXPECT_EQ(mgr.High(x), mgr.True());
+  EXPECT_EQ(mgr.NotVar(1), mgr.Not(mgr.Var(1)));
+}
+
+TEST(Bdd, CanonicityByConstruction) {
+  BddManager mgr(3);
+  const Ref a = mgr.Var(0);
+  const Ref b = mgr.Var(1);
+  // (a & b) == ~(~a | ~b) must be the same node.
+  EXPECT_EQ(mgr.And(a, b), mgr.Not(mgr.Or(mgr.Not(a), mgr.Not(b))));
+  // a ^ b == (a & ~b) | (~a & b)
+  EXPECT_EQ(mgr.Xor(a, b),
+            mgr.Or(mgr.And(a, mgr.Not(b)), mgr.And(mgr.Not(a), b)));
+  // Idempotence and involution.
+  EXPECT_EQ(mgr.And(a, a), a);
+  EXPECT_EQ(mgr.Not(mgr.Not(a)), a);
+}
+
+TEST(Bdd, IteBasics) {
+  BddManager mgr(3);
+  const Ref a = mgr.Var(0);
+  const Ref b = mgr.Var(1);
+  const Ref c = mgr.Var(2);
+  EXPECT_EQ(mgr.Ite(mgr.True(), b, c), b);
+  EXPECT_EQ(mgr.Ite(mgr.False(), b, c), c);
+  EXPECT_EQ(mgr.Ite(a, mgr.True(), mgr.False()), a);
+  EXPECT_EQ(mgr.Ite(a, b, b), b);
+  // Mux identity: ite(a,b,c) == (a&b) | (~a&c).
+  EXPECT_EQ(mgr.Ite(a, b, c),
+            mgr.Or(mgr.And(a, b), mgr.And(mgr.Not(a), c)));
+}
+
+// Cross-check all binary ops against a truth-table oracle on random
+// functions of up to 10 variables.
+class BddOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddOracleTest, OpsMatchTruthTables) {
+  const int n = GetParam();
+  Rng rng(500 + static_cast<std::uint64_t>(n));
+  BddManager mgr(n);
+  std::vector<Ref> vars;
+  for (int v = 0; v < n; ++v) vars.push_back(mgr.Var(v));
+
+  for (int iter = 0; iter < 20; ++iter) {
+    TruthTable tf(n);
+    TruthTable tg(n);
+    for (std::uint64_t m = 0; m < tf.num_minterms_space(); ++m) {
+      tf.Set(m, rng.Chance(0.5));
+      tg.Set(m, rng.Chance(0.5));
+    }
+    const Ref f = TruthTableToBdd(mgr, tf, vars);
+    const Ref g = TruthTableToBdd(mgr, tg, vars);
+    EXPECT_EQ(mgr.And(f, g), TruthTableToBdd(mgr, tf & tg, vars));
+    EXPECT_EQ(mgr.Or(f, g), TruthTableToBdd(mgr, tf | tg, vars));
+    EXPECT_EQ(mgr.Xor(f, g), TruthTableToBdd(mgr, tf ^ tg, vars));
+    EXPECT_EQ(mgr.Not(f), TruthTableToBdd(mgr, ~tf, vars));
+    EXPECT_EQ(mgr.SatCount(f), static_cast<double>(tf.CountOnes()));
+    EXPECT_EQ(mgr.Implies(f, g), tf.Implies(tg));
+    // Cofactor oracle.
+    const int v = static_cast<int>(rng.Below(static_cast<std::uint64_t>(n)));
+    EXPECT_EQ(mgr.Cofactor(f, v, true),
+              TruthTableToBdd(mgr, tf.Cofactor(v, true), vars));
+    EXPECT_EQ(mgr.Cofactor(f, v, false),
+              TruthTableToBdd(mgr, tf.Cofactor(v, false), vars));
+    // Exists oracle: ∃v.f == f0 | f1.
+    EXPECT_EQ(mgr.Exists(f, {v}),
+              TruthTableToBdd(mgr, tf.Cofactor(v, false) | tf.Cofactor(v, true),
+                              vars));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BddOracleTest,
+                         ::testing::Values(2, 3, 5, 8, 10));
+
+TEST(Bdd, ComposeMatchesOracle) {
+  const int n = 6;
+  Rng rng(999);
+  BddManager mgr(n);
+  std::vector<Ref> vars;
+  for (int v = 0; v < n; ++v) vars.push_back(mgr.Var(v));
+  for (int iter = 0; iter < 20; ++iter) {
+    TruthTable tf(n);
+    TruthTable tg(n);
+    for (std::uint64_t m = 0; m < tf.num_minterms_space(); ++m) {
+      tf.Set(m, rng.Chance(0.5));
+      tg.Set(m, rng.Chance(0.5));
+    }
+    const int v = static_cast<int>(rng.Below(n));
+    const Ref f = TruthTableToBdd(mgr, tf, vars);
+    const Ref g = TruthTableToBdd(mgr, tg, vars);
+    // compose(f, v, g) == (g & f1) | (~g & f0)
+    const TruthTable expect = (tg & tf.Cofactor(v, true)) |
+                              (~tg & tf.Cofactor(v, false));
+    EXPECT_EQ(mgr.Compose(f, v, g), TruthTableToBdd(mgr, expect, vars));
+  }
+}
+
+TEST(Bdd, SatCountWideFunctions) {
+  // A single variable over 600 inputs: count = 2^599; verify via log2.
+  BddManager mgr(600);
+  const Ref f = mgr.Var(17);
+  EXPECT_DOUBLE_EQ(mgr.Log2SatCount(f), 599.0);
+  EXPECT_DOUBLE_EQ(mgr.SatFraction(f), 0.5);
+  const double count = mgr.SatCount(f);
+  EXPECT_DOUBLE_EQ(std::log2(count), 599.0);
+  EXPECT_TRUE(std::isinf(mgr.Log2SatCount(mgr.False())));
+  EXPECT_EQ(mgr.SatCount(mgr.False()), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.Log2SatCount(mgr.True()), 600.0);
+}
+
+TEST(Bdd, SatCountConjunction) {
+  BddManager mgr(64);
+  Ref f = mgr.True();
+  for (int v = 0; v < 20; ++v) f = mgr.And(f, mgr.Var(v));
+  EXPECT_DOUBLE_EQ(mgr.Log2SatCount(f), 44.0);
+  EXPECT_DOUBLE_EQ(mgr.SatCount(f, 20), 1.0);
+}
+
+TEST(Bdd, SatOneSatisfies) {
+  BddManager mgr(8);
+  Rng rng(31);
+  std::vector<Ref> vars;
+  for (int v = 0; v < 8; ++v) vars.push_back(mgr.Var(v));
+  for (int iter = 0; iter < 20; ++iter) {
+    TruthTable tf(8);
+    for (std::uint64_t m = 0; m < tf.num_minterms_space(); ++m) {
+      tf.Set(m, rng.Chance(0.2));
+    }
+    if (tf.IsConst0()) continue;
+    const Ref f = TruthTableToBdd(mgr, tf, vars);
+    std::vector<bool> assign(8, false);
+    for (auto [v, val] : mgr.SatOne(f)) assign[static_cast<std::size_t>(v)] = val;
+    EXPECT_TRUE(mgr.Eval(f, assign));
+  }
+  EXPECT_THROW(mgr.SatOne(mgr.False()), std::invalid_argument);
+}
+
+TEST(Bdd, SupportAndDagSize) {
+  BddManager mgr(10);
+  const Ref f = mgr.And(mgr.Var(2), mgr.Or(mgr.Var(5), mgr.NotVar(9)));
+  EXPECT_EQ(mgr.Support(f), (std::vector<int>{2, 5, 9}));
+  EXPECT_EQ(mgr.Support(mgr.True()), std::vector<int>{});
+  EXPECT_GE(mgr.DagSize(f), 4u);  // 3 internal + terminals
+  EXPECT_EQ(mgr.DagSize(mgr.True()), 1u);
+}
+
+TEST(Bdd, EvalWalksCorrectly) {
+  BddManager mgr(3);
+  const Ref f = mgr.Xor(mgr.Var(0), mgr.Var(2));
+  EXPECT_TRUE(mgr.Eval(f, {true, false, false}));
+  EXPECT_FALSE(mgr.Eval(f, {true, false, true}));
+  EXPECT_TRUE(mgr.Eval(f, {false, true, true}));
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  // Force blowup with a tiny limit: a multiplier-like xor/and mix.
+  BddManager mgr(24, /*node_limit=*/64);
+  try {
+    Ref f = mgr.True();
+    for (int v = 0; v < 24; ++v) {
+      f = mgr.Xor(f, mgr.And(mgr.Var(v), mgr.Var((v + 7) % 24)));
+    }
+    FAIL() << "expected BddOverflowError";
+  } catch (const BddOverflowError&) {
+    SUCCEED();
+  }
+}
+
+TEST(BddUtil, SopAndCubeConversion) {
+  BddManager mgr(4);
+  std::vector<Ref> vars;
+  for (int v = 0; v < 4; ++v) vars.push_back(mgr.Var(v));
+  // f = ab' + cd
+  Sop f(4, {Cube::Literal(0, true).Intersect(Cube::Literal(1, false)),
+            Cube::Literal(2, true).Intersect(Cube::Literal(3, true))});
+  const Ref ref = SopToBdd(mgr, f, vars);
+  EXPECT_EQ(ref, TruthTableToBdd(mgr, f.ToTruthTable(), vars));
+  EXPECT_EQ(mgr.SatCount(ref), static_cast<double>(f.ToTruthTable().CountOnes()));
+  EXPECT_EQ(CubeToBdd(mgr, Cube::Universe(), vars), mgr.True());
+  EXPECT_EQ(
+      CubeToBdd(mgr, Cube::Literal(0, true).Intersect(Cube::Literal(0, false)),
+                vars),
+      mgr.False());
+}
+
+TEST(BddUtil, CompositionThroughIntermediateFunctions) {
+  // Local function g(u, v) = u & v applied to global u = a|b, v = ~c.
+  BddManager mgr(3);
+  const Ref u = mgr.Or(mgr.Var(0), mgr.Var(1));
+  const Ref v = mgr.Not(mgr.Var(2));
+  Sop g(2, {Cube::Literal(0, true).Intersect(Cube::Literal(1, true))});
+  const Ref composed = SopToBdd(mgr, g, {u, v});
+  EXPECT_EQ(composed, mgr.And(u, v));
+}
+
+}  // namespace
+}  // namespace sm

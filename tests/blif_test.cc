@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "network/blif.h"
+#include "network/global_bdd.h"
+#include "network/structural.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+const char* kComparatorBlif = R"(
+# 2-bit comparator: y = [a1a0 >= b1b0]
+.model cmp2
+.inputs a0 a1 b0 b1
+.outputs y
+.names b1 nb1
+0 1
+.names b0 nb0
+0 1
+.names a1 nb1 g1
+11 1
+.names a0 nb0 g2
+1- 1
+-1 1
+.names a1 nb1 g3
+1- 1
+-1 1
+.names g2 g3 g4
+11 1
+.names g1 g4 y
+1- 1
+-1 1
+.end
+)";
+
+TEST(Blif, ParsesComparator) {
+  const Network net = ReadBlifString(kComparatorBlif);
+  EXPECT_EQ(net.name(), "cmp2");
+  EXPECT_EQ(net.NumInputs(), 4u);
+  EXPECT_EQ(net.NumOutputs(), 1u);
+  EXPECT_EQ(net.NumLogicNodes(), 7u);
+  // Functional spot checks: y(a=3, b=0) = 1; y(a=0, b=1) = 0.
+  BddManager mgr(4);
+  const auto g = BuildGlobalBdds(mgr, net);
+  const auto y = g[net.output(0).driver];
+  // vars: a0=0, a1=1, b0=2, b1=3
+  EXPECT_TRUE(mgr.Eval(y, {true, true, false, false}));
+  EXPECT_FALSE(mgr.Eval(y, {false, false, true, false}));
+  EXPECT_TRUE(mgr.Eval(y, {false, false, false, false}));  // equal => 1
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+  const Network net = ReadBlifString(kComparatorBlif);
+  const Network again = ReadBlifString(WriteBlifString(net));
+  EXPECT_EQ(again.NumInputs(), net.NumInputs());
+  EXPECT_EQ(again.NumOutputs(), net.NumOutputs());
+  EXPECT_EQ(FirstMismatchingOutput(net, again), -1);
+}
+
+TEST(Blif, OffsetCover) {
+  // NOR via off-set: output 0 whenever any input is 1.
+  const Network net = ReadBlifString(R"(
+.model nor2
+.inputs a b
+.outputs y
+.names a b y
+1- 0
+-1 0
+.end
+)");
+  BddManager mgr(2);
+  const auto g = BuildGlobalBdds(mgr, net);
+  EXPECT_EQ(g[net.output(0).driver],
+            mgr.And(mgr.NotVar(0), mgr.NotVar(1)));
+}
+
+TEST(Blif, ConstantNodes) {
+  const Network net = ReadBlifString(R"(
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+)");
+  EXPECT_TRUE(net.function(net.output(0).driver).IsConst1());
+  EXPECT_TRUE(net.function(net.output(1).driver).IsConst0());
+}
+
+TEST(Blif, OutOfOrderDefinitionsElaborate) {
+  // g defined after its user y; the reader must elaborate dependencies.
+  const Network net = ReadBlifString(R"(
+.model ooo
+.inputs a b
+.outputs y
+.names g a y
+11 1
+.names a b g
+01 1
+.end
+)");
+  EXPECT_EQ(net.NumLogicNodes(), 2u);
+  EXPECT_NO_THROW(net.CheckInvariants());
+}
+
+TEST(Blif, ContinuationLinesAndComments) {
+  const Network net = ReadBlifString(
+      ".model c # trailing\n.inputs a \\\nb\n.outputs y\n"
+      ".names a b y\n11 1\n.end\n");
+  EXPECT_EQ(net.NumInputs(), 2u);
+}
+
+TEST(Blif, ErrorsAreReported) {
+  EXPECT_THROW(ReadBlifString(".model m\n.inputs a\n.outputs y\n.end\n"),
+               ParseError);  // undefined y
+  EXPECT_THROW(ReadBlifString(
+                   ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end"),
+               ParseError);  // cover width mismatch
+  EXPECT_THROW(ReadBlifString(
+                   ".model m\n.inputs a\n.outputs y\n.names a y\n1 2\n.end"),
+               ParseError);  // bad output value
+  EXPECT_THROW(
+      ReadBlifString(
+          ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end"),
+      ParseError);  // sequential constructs unsupported
+  EXPECT_THROW(ReadBlifString(".model m\n.inputs a\n.outputs y\n"
+                              ".names y2 y\n1 1\n.names y y2\n1 1\n.end"),
+               ParseError);  // combinational cycle
+  EXPECT_THROW(ReadBlifString(".model m\n.inputs a a\n.outputs a\n.end"),
+               ParseError);  // duplicate input
+  EXPECT_THROW(ReadBlifString(".model m\n.inputs a\n.outputs y\n"
+                              ".names a y\n1 1\n0 0\n.end"),
+               ParseError);  // mixed polarity cover
+}
+
+TEST(Blif, OutputAliasOfInput) {
+  const Network net = ReadBlifString(
+      ".model buf\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n");
+  const Network again = ReadBlifString(WriteBlifString(net));
+  EXPECT_EQ(FirstMismatchingOutput(net, again), -1);
+}
+
+TEST(Blif, WriterEmitsParsableOutputForGeneratedNetwork) {
+  Network net("gen");
+  const NodeId a = net.AddInput("a");
+  const NodeId b = net.AddInput("b");
+  const NodeId c = net.AddInput("c");
+  const NodeId x = AddXor2(net, a, b, "x");
+  const NodeId m = AddMux2(net, c, x, a, "m");
+  net.AddOutput("out", m);
+  const Network again = ReadBlifString(WriteBlifString(net));
+  EXPECT_EQ(FirstMismatchingOutput(net, again), -1);
+}
+
+
+TEST(BlifSequential, LatchCoreExtraction) {
+  // A 2-bit counter-ish circuit: q0' = ~q0, q1' = q0 XOR q1, out = q1 & en.
+  const BlifCircuit c = ReadBlifSequentialString(R"(
+.model counter
+.inputs en
+.outputs out
+.latch nq0 q0 re clk 0
+.latch nq1 q1 2
+.names q0 nq0
+0 1
+.names q0 q1 nq1
+01 1
+10 1
+.names q1 en out
+11 1
+.end
+)");
+  ASSERT_TRUE(c.IsSequential());
+  ASSERT_EQ(c.latches.size(), 2u);
+  EXPECT_EQ(c.latches[0].input, "nq0");
+  EXPECT_EQ(c.latches[0].output, "q0");
+  EXPECT_EQ(c.latches[0].initial, '0');
+  EXPECT_EQ(c.latches[1].initial, '2');
+  // Core: PIs en,q0,q1; POs out,nq0,nq1.
+  EXPECT_EQ(c.network.NumInputs(), 3u);
+  EXPECT_EQ(c.network.NumOutputs(), 3u);
+  EXPECT_EQ(c.network.output(0).name, "out");
+  EXPECT_EQ(c.network.output(1).name, "nq0");
+  EXPECT_EQ(c.network.output(2).name, "nq1");
+  // nq1 computes q0 XOR q1 over the pseudo-inputs.
+  BddManager mgr(3);  // en=0, q0=1, q1=2 in declaration order
+  const auto g = BuildGlobalBdds(mgr, c.network);
+  EXPECT_EQ(g[c.network.output(2).driver], mgr.Xor(mgr.Var(1), mgr.Var(2)));
+  EXPECT_EQ(g[c.network.output(1).driver], mgr.NotVar(1));
+}
+
+TEST(BlifSequential, CombinationalReaderRejectsLatches) {
+  EXPECT_THROW(
+      ReadBlifString(".model m\n.inputs a\n.outputs y\n"
+                     ".latch a y 0\n.end\n"),
+      ParseError);
+  // The sequential reader accepts the same text.
+  const BlifCircuit c = ReadBlifSequentialString(
+      ".model m\n.inputs a\n.outputs y\n.latch a y 0\n.end\n");
+  EXPECT_EQ(c.latches.size(), 1u);
+  EXPECT_EQ(c.network.NumInputs(), 2u);  // a + pseudo-input y
+}
+
+TEST(BlifSequential, CombinationalCircuitHasNoLatches) {
+  const BlifCircuit c = ReadBlifSequentialString(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+  EXPECT_FALSE(c.IsSequential());
+  EXPECT_EQ(c.network.NumOutputs(), 1u);
+}
+
+TEST(BlifSequential, MalformedLatchRejected) {
+  EXPECT_THROW(ReadBlifSequentialString(
+                   ".model m\n.inputs a\n.outputs y\n.latch a\n.end\n"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace sm

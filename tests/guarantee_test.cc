@@ -1,0 +1,123 @@
+// The paper's end-to-end guarantees, exercised adversarially:
+//
+//  * guard-band guarantee — ANY single gate of the original circuit may
+//    slow down by (almost) the full guard band and no timing error reaches
+//    a protected output: failing paths either stay within the compensated
+//    clock or lie in Σ and are masked;
+//  * self-immunity — the error-masking circuit banks ≥20% slack, so ANY of
+//    its own gates may slow down by well over the guard band without
+//    compromising the outputs (the property motivating Sec. 2's "the
+//    error-masking circuit is itself immune").
+#include <gtest/gtest.h>
+
+#include "harness/flow.h"
+#include "liblib/lsi10k.h"
+#include "masking/indicator.h"
+#include "sim/event_sim.h"
+#include "sta/paths.h"
+#include "suite/structured.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sm {
+namespace {
+
+struct AgingProbe {
+  FlowResult flow;
+  double clock = 0;
+
+  explicit AgingProbe(const Network& ti, const Library& lib)
+      : flow(RunMaskingFlow(ti, lib)) {
+    clock = flow.timing.critical_delay +
+            lib.ByNameOrThrow("MUX2")->max_delay();
+  }
+
+  // Ages one element by `delta` and runs `cycles` random transitions;
+  // returns the number of unmasked (escaped) errors.
+  std::uint64_t EscapedErrors(GateId victim, double delta, int cycles,
+                              std::uint64_t seed) const {
+    const MappedNetlist& prot = flow.protected_circuit.netlist;
+    EventSimConfig cfg;
+    cfg.clock = clock;
+    cfg.extra_delay.assign(prot.NumElements(), 0.0);
+    cfg.extra_delay[victim] = delta;
+    WearoutMonitor monitor(flow.protected_circuit,
+                           flow.timing.critical_delay);
+    Rng rng(seed);
+    std::vector<bool> prev(prot.NumInputs(), false);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      std::vector<bool> next(prot.NumInputs());
+      for (std::size_t v = 0; v < next.size(); ++v) next[v] = rng.Chance(0.5);
+      monitor.Record(SimulateTransition(prot, prev, next, cfg));
+      prev = next;
+    }
+    return monitor.stats().unmasked_errors;
+  }
+};
+
+TEST(Guarantee, AnySingleOriginalGateMayAgeByTheGuardBand) {
+  const Library lib = UnitLibrary();
+  const AgingProbe probe(RippleComparatorNetwork(6), lib);
+  ASSERT_TRUE(probe.flow.verification.ok());
+  const MappedNetlist& prot = probe.flow.protected_circuit.netlist;
+  const double delta = 0.095 * probe.flow.timing.critical_delay;
+
+  // Sweep every gate copied from the original circuit.
+  for (GateId id = 0; id < prot.NumElements(); ++id) {
+    if (prot.IsInput(id)) continue;
+    const std::string& name = prot.element(id).name;
+    if (StartsWith(name, "em_") || StartsWith(name, "mux_")) continue;
+    EXPECT_EQ(probe.EscapedErrors(id, delta, 120, 7'000 + id), 0u)
+        << "aging gate " << name << " by " << delta
+        << " let an error escape";
+  }
+}
+
+TEST(Guarantee, AnySingleMaskingGateMayAgeWellBeyondTheGuardBand) {
+  const Library lib = UnitLibrary();
+  const AgingProbe probe(RippleComparatorNetwork(6), lib);
+  ASSERT_TRUE(probe.flow.verification.ok());
+  ASSERT_GE(probe.flow.overheads.slack_percent, 20.0);
+  const MappedNetlist& prot = probe.flow.protected_circuit.netlist;
+  // The masking circuit's own slack budget: it settles by masking_delay, so
+  // any one of its gates can absorb clock − (masking_delay + mux) extra.
+  const double headroom =
+      probe.clock - (probe.flow.protected_circuit.masking_delay +
+                     lib.ByNameOrThrow("MUX2")->max_delay());
+  ASSERT_GT(headroom, 0.15 * probe.flow.timing.critical_delay);
+  const double delta = 0.9 * headroom;
+
+  for (GateId id = 0; id < prot.NumElements(); ++id) {
+    if (prot.IsInput(id)) continue;
+    const std::string& name = prot.element(id).name;
+    if (!StartsWith(name, "em_")) continue;
+    EXPECT_EQ(probe.EscapedErrors(id, delta, 120, 9'000 + id), 0u)
+        << "aging masking gate " << name << " by " << delta
+        << " let an error escape";
+  }
+}
+
+TEST(Guarantee, AgingBeyondTheGuardBandIsDetectablyUnsafe) {
+  // Sanity for the test harness itself: the guarantee is tight — pushing a
+  // worst-path gate far past the guard band DOES let errors escape, so the
+  // two tests above are actually observing protection, not dead stimulus.
+  const Library lib = UnitLibrary();
+  const AgingProbe probe(RippleComparatorNetwork(6), lib);
+  const MappedNetlist& prot = probe.flow.protected_circuit.netlist;
+  const TimingPath worst =
+      WorstPath(probe.flow.original, probe.flow.timing);
+  std::uint64_t escaped = 0;
+  for (GateId id : worst.elements) {
+    if (probe.flow.original.IsInput(id)) continue;
+    const GateId victim =
+        prot.FindByName(probe.flow.original.element(id).name);
+    ASSERT_NE(victim, kInvalidGate);
+    escaped += probe.EscapedErrors(
+        victim, 0.8 * probe.flow.timing.critical_delay, 200, 11'000 + id);
+  }
+  EXPECT_GT(escaped, 0u)
+      << "80% aging on the worst path should defeat a 10% guard band";
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "harness/flow.h"
+#include "harness/table.h"
+#include "liblib/lsi10k.h"
+#include "suite/structured.h"
+
+namespace sm {
+namespace {
+
+TEST(Table, FormatsAlignedRows) {
+  std::ostringstream out;
+  TablePrinter table(out, {{"Name", 8}, {"Value", 6}});
+  table.PrintHeader();
+  table.PrintRow({"alpha", "1"});
+  table.PrintRow({"b", "23"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("    Name   Value"), std::string::npos);
+  EXPECT_NE(text.find("   alpha       1"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  std::ostringstream out;
+  TablePrinter table(out, {{"A", 4}});
+  EXPECT_THROW(table.PrintRow({"x", "y"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter(out, {}), std::invalid_argument);
+}
+
+TEST(Flow, AdderEndToEnd) {
+  const Network ti = RippleCarryAdderNetwork(6);
+  const Library lib = Lsi10kLike();
+  const FlowResult r = RunMaskingFlow(ti, lib);
+  EXPECT_TRUE(r.verification.safety);
+  EXPECT_TRUE(r.verification.coverage);
+  EXPECT_TRUE(VerifyProtectedEquivalence(r.original, r.protected_circuit));
+  // The adder's carry chain ends at cout/high sum bits: speed-paths exist.
+  EXPECT_FALSE(r.spcf.critical_outputs.empty());
+}
+
+TEST(Flow, MiniAluEndToEnd) {
+  const Network ti = MiniAluNetwork(4);
+  const Library lib = Lsi10kLike();
+  const FlowResult r = RunMaskingFlow(ti, lib);
+  EXPECT_TRUE(r.verification.ok());
+  EXPECT_TRUE(VerifyProtectedEquivalence(r.original, r.protected_circuit));
+}
+
+TEST(Flow, PremappedVariantAgreesWithInternalMapping) {
+  const Network ti = Comparator2Network();
+  const Library lib = UnitLibrary();
+  const TechMapResult mapped = DecomposeAndMap(ti, lib);
+  const FlowResult a = RunMaskingFlow(ti, lib);
+  const FlowResult b = RunMaskingFlowPremapped(mapped.netlist, ti, lib);
+  EXPECT_TRUE(b.verification.ok());
+  EXPECT_EQ(a.spcf.critical_outputs.size(), b.spcf.critical_outputs.size());
+  EXPECT_TRUE(VerifyProtectedEquivalence(b.original, b.protected_circuit));
+}
+
+TEST(Flow, PremappedRejectsInterfaceMismatch) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist mapped = Comparator2Mapped(lib);
+  const Network wrong = RippleComparatorNetwork(4);
+  EXPECT_THROW(RunMaskingFlowPremapped(mapped, wrong, lib),
+               std::invalid_argument);
+}
+
+TEST(Flow, OverheadReportFieldsPopulated) {
+  const Network ti = RippleComparatorNetwork(6);
+  const Library lib = Lsi10kLike();
+  const FlowResult r = RunMaskingFlow(ti, lib);
+  const OverheadReport& o = r.overheads;
+  EXPECT_EQ(o.circuit, ti.name());
+  EXPECT_EQ(o.num_inputs, ti.NumInputs());
+  EXPECT_EQ(o.num_outputs, ti.NumOutputs());
+  EXPECT_GT(o.num_gates, 0u);
+  EXPECT_EQ(o.critical_outputs, r.protected_circuit.taps.size());
+  EXPECT_GE(o.area_percent, 0.0);
+  EXPECT_TRUE(o.safety);
+  EXPECT_TRUE(o.coverage_100);
+  // log2 count is consistent with the plain count when both fit.
+  if (o.critical_minterms > 0) {
+    EXPECT_NEAR(std::log2(o.critical_minterms), o.log2_critical_minterms,
+                1e-6);
+  }
+}
+
+TEST(Flow, BddNodeLimitSurfacesAsTypedError) {
+  const Network ti = RippleComparatorNetwork(10);
+  const Library lib = Lsi10kLike();
+  FlowOptions options;
+  options.bdd_node_limit = 256;  // absurdly small
+  EXPECT_THROW(RunMaskingFlow(ti, lib, options), BddOverflowError);
+}
+
+}  // namespace
+}  // namespace sm

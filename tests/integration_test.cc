@@ -1,0 +1,195 @@
+// Cross-cutting integration properties:
+//  * the exact SPCF upper-bounds dynamic behaviour: patterns outside Σ(T)
+//    settle by T in event simulation from EVERY predecessor state;
+//  * event-simulation settle times never exceed the floating-mode bound;
+//  * the telescopic HOLD output releases only genuinely settled results;
+//  * BLIF file round-trips through the filesystem;
+//  * named paper circuits run the full flow and verify.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "harness/flow.h"
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "masking/telescopic.h"
+#include "network/blif.h"
+#include "network/global_bdd.h"
+#include "sim/event_sim.h"
+#include "spcf/spcf.h"
+#include "suite/paper_suite.h"
+#include "suite/structured.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sm {
+namespace {
+
+// Floating-mode per-pattern settle times (independent numeric oracle; see
+// spcf_test.cc for the derivation).
+std::vector<double> PatternSettleTimes(const MappedNetlist& net,
+                                       std::uint64_t pattern) {
+  std::vector<double> settle(net.NumElements(), 0.0);
+  std::vector<bool> value(net.NumElements(), false);
+  std::size_t next_input = 0;
+  for (GateId id = 0; id < net.NumElements(); ++id) {
+    if (net.IsInput(id)) {
+      value[id] = (pattern >> next_input++) & 1u;
+      continue;
+    }
+    const Cell& cell = net.cell(id);
+    if (cell.IsConstant()) {
+      value[id] = cell.function().Get(0);
+      continue;
+    }
+    const auto& fin = net.fanins(id);
+    std::uint64_t m = 0;
+    for (int p = 0; p < cell.num_pins(); ++p) {
+      if (value[fin[static_cast<std::size_t>(p)]]) m |= 1ull << p;
+    }
+    value[id] = cell.function().Get(m);
+    const Sop& primes = value[id] ? cell.OnSetPrimes() : cell.OffSetPrimes();
+    double best = std::numeric_limits<double>::infinity();
+    for (const Cube& p : primes.cubes()) {
+      if (!p.CoversMinterm(static_cast<std::uint32_t>(m))) continue;
+      double worst = 0.0;
+      for (int pin = 0; pin < cell.num_pins(); ++pin) {
+        if (!p.HasVar(pin)) continue;
+        worst = std::max(worst, settle[fin[static_cast<std::size_t>(pin)]] +
+                                    cell.pin_delay(pin));
+      }
+      best = std::min(best, worst);
+    }
+    settle[id] = best;
+  }
+  return settle;
+}
+
+std::vector<bool> Unpack(std::uint64_t pattern, std::size_t n) {
+  std::vector<bool> out(n);
+  for (std::size_t v = 0; v < n; ++v) out[v] = (pattern >> v) & 1u;
+  return out;
+}
+
+TEST(Integration, EventSimNeverSettlesAfterTheFloatingBound) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  EventSimConfig cfg;
+  cfg.clock = 7.0;
+  for (std::uint64_t next = 0; next < 16; ++next) {
+    const auto bound = PatternSettleTimes(net, next);
+    for (std::uint64_t prev = 0; prev < 16; ++prev) {
+      const EventSimResult sim =
+          SimulateTransition(net, Unpack(prev, 4), Unpack(next, 4), cfg);
+      for (GateId id = 0; id < net.NumElements(); ++id) {
+        EXPECT_LE(sim.settle_at[id], bound[id] + 1e-9)
+            << "element " << net.element(id).name << " prev=" << prev
+            << " next=" << next;
+      }
+    }
+  }
+}
+
+TEST(Integration, PatternsOutsideSigmaMeetTheTargetDynamically) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  BddManager mgr(4);
+  const SpcfResult spcf = ComputeSpcf(mgr, net, timing, SpcfOptions{});
+  const GateId y = net.output(0).driver;
+  EventSimConfig cfg;
+  cfg.clock = timing.clock;
+  for (std::uint64_t next = 0; next < 16; ++next) {
+    const bool in_sigma = mgr.Eval(spcf.sigma[0], Unpack(next, 4));
+    for (std::uint64_t prev = 0; prev < 16; ++prev) {
+      const EventSimResult sim =
+          SimulateTransition(net, Unpack(prev, 4), Unpack(next, 4), cfg);
+      if (!in_sigma) {
+        EXPECT_LE(sim.settle_at[y], spcf.target_arrival + 1e-9)
+            << "pattern " << next << " outside Σ settled late";
+      }
+    }
+  }
+}
+
+TEST(Integration, SigmaIsDynamicallyTightOnTheComparator) {
+  // Every Σ pattern is reachable late from SOME predecessor: the SPCF is
+  // not just sound but (on this circuit) dynamically meaningful.
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  BddManager mgr(4);
+  const SpcfResult spcf = ComputeSpcf(mgr, net, timing, SpcfOptions{});
+  const GateId y = net.output(0).driver;
+  EventSimConfig cfg;
+  cfg.clock = timing.clock;
+  for (std::uint64_t next = 0; next < 16; ++next) {
+    if (!mgr.Eval(spcf.sigma[0], Unpack(next, 4))) continue;
+    double worst = 0;
+    for (std::uint64_t prev = 0; prev < 16; ++prev) {
+      const EventSimResult sim =
+          SimulateTransition(net, Unpack(prev, 4), Unpack(next, 4), cfg);
+      worst = std::max(worst, sim.settle_at[y]);
+    }
+    EXPECT_GT(worst, spcf.target_arrival)
+        << "Σ pattern " << next << " never settled late";
+  }
+}
+
+TEST(Integration, TelescopicReleaseIsAlwaysSettled) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  BddManager mgr(4);
+  TelescopicOptions options;
+  options.fast_fraction = 0.9;
+  const TelescopicUnit unit =
+      SynthesizeTelescopicUnit(mgr, net, timing, options);
+  std::vector<NodeId> roots{unit.hold_network.output(0).driver};
+  const auto hold = BuildGlobalBdds(mgr, unit.hold_network, roots)[roots[0]];
+
+  EventSimConfig cfg;
+  cfg.clock = timing.clock;
+  const GateId y = net.output(0).driver;
+  for (std::uint64_t next = 0; next < 16; ++next) {
+    if (mgr.Eval(hold, Unpack(next, 4))) continue;  // held: second cycle
+    for (std::uint64_t prev = 0; prev < 16; ++prev) {
+      const EventSimResult sim =
+          SimulateTransition(net, Unpack(prev, 4), Unpack(next, 4), cfg);
+      EXPECT_LE(sim.settle_at[y], unit.fast_clock + 1e-9)
+          << "released pattern " << next << " was not settled at T";
+    }
+  }
+}
+
+TEST(Integration, BlifFileRoundTripThroughFilesystem) {
+  const Network net = RippleCarryAdderNetwork(4);
+  const std::string path = "/tmp/speedmask_blif_roundtrip.blif";
+  WriteBlifFile(net, path);
+  const Network again = ReadBlifFile(path);
+  EXPECT_EQ(FirstMismatchingOutput(net, again), -1);
+  std::remove(path.c_str());
+  EXPECT_THROW(ReadBlifFile("/tmp/definitely_missing_file.blif"), ParseError);
+}
+
+class PaperFlowTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperFlowTest, NamedCircuitVerifies) {
+  const Library lib = Lsi10kLike();
+  const Network ti = GenerateCircuit(PaperCircuitByName(GetParam()).spec);
+  const FlowResult r = RunMaskingFlow(ti, lib);
+  EXPECT_TRUE(r.verification.safety) << GetParam();
+  EXPECT_TRUE(r.verification.coverage) << GetParam();
+  EXPECT_TRUE(VerifyProtectedEquivalence(r.original, r.protected_circuit));
+  EXPECT_FALSE(r.spcf.critical_outputs.empty());
+  EXPECT_GE(r.overheads.slack_percent, 20.0)
+      << GetParam() << ": the masking circuit must meet the slack bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, PaperFlowTest,
+                         ::testing::Values("i1", "cu", "alu2", "frg1", "C432",
+                                           "C880", "apex6", "sparc_ifu_dcl"));
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "masking/razor.h"
+#include "suite/paper_suite.h"
+#include "suite/structured.h"
+
+namespace sm {
+namespace {
+
+TEST(Razor, ComparatorModelMatchesHandAnalysis) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  const RazorModel m = BuildRazorModel(net, timing, 0.1);
+  EXPECT_EQ(m.monitored_outputs, 1u);
+  // The comparator output's earliest settling is 4 units (see STA tests),
+  // so the shadow window can be at most 4 and the clock floor is 7-4 = 3.
+  EXPECT_DOUBLE_EQ(m.detection_window, 4.0);
+  EXPECT_DOUBLE_EQ(m.min_safe_clock, 3.0);
+  EXPECT_GT(m.area_overhead, 0.0);
+}
+
+TEST(Razor, ErrorRateIsTheSpcfMass) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  BddManager mgr(4);
+  RazorModel m = BuildRazorModel(net, timing, 0.1);
+  // At clock 6.3 the violating patterns are exactly Σ(6.3): 10/16.
+  m = EvaluateRazorAtClock(mgr, net, timing, m, 6.3);
+  EXPECT_DOUBLE_EQ(m.error_rate, 10.0 / 16.0);
+  // At the nominal clock there are no violations.
+  m = EvaluateRazorAtClock(mgr, net, timing, m, 7.0);
+  EXPECT_DOUBLE_EQ(m.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput_rel, 1.0);
+}
+
+TEST(Razor, ReplayPenaltyDegradesThroughput) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  BddManager mgr(4);
+  RazorOptions cheap;
+  cheap.replay_penalty_cycles = 1.0;
+  RazorOptions costly;
+  costly.replay_penalty_cycles = 20.0;
+  RazorModel base = BuildRazorModel(net, timing, 0.1);
+  const RazorModel a =
+      EvaluateRazorAtClock(mgr, net, timing, base, 6.3, cheap);
+  const RazorModel b =
+      EvaluateRazorAtClock(mgr, net, timing, base, 6.3, costly);
+  EXPECT_GT(a.throughput_rel, b.throughput_rel);
+  // With 10/16 error rate and 20-cycle replays, overclocking loses badly.
+  EXPECT_LT(b.throughput_rel, 1.0);
+}
+
+TEST(Razor, RefusesClockBelowDetectionFloor) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = Comparator2Mapped(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  BddManager mgr(4);
+  RazorModel m = BuildRazorModel(net, timing, 0.1);
+  EXPECT_THROW(EvaluateRazorAtClock(mgr, net, timing, m, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Razor, GeneratedCircuitMonotoneErrorRate) {
+  const Library lib = Lsi10kLike();
+  const Network ti = GenerateCircuit(PaperCircuitByName("C432").spec);
+  const TechMapResult mapped = DecomposeAndMap(ti, lib);
+  const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+  BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+  RazorModel model = BuildRazorModel(mapped.netlist, timing, 0.1);
+  double prev = 1.0;
+  for (double scale : {1.0, 0.97, 0.94, 0.91}) {
+    const double clock = scale * timing.clock;
+    if (clock + 1e-9 < model.min_safe_clock) break;
+    const RazorModel m =
+        EvaluateRazorAtClock(mgr, mapped.netlist, timing, model, clock);
+    EXPECT_LE(prev, 1.0);
+    EXPECT_GE(m.error_rate, 0.0);
+    EXPECT_LE(m.error_rate, 1.0);
+    if (scale < 1.0) {
+      EXPECT_GE(m.error_rate, prev == 1.0 ? 0.0 : 0.0);
+    }
+    prev = m.error_rate;
+  }
+}
+
+}  // namespace
+}  // namespace sm

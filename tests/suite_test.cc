@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "network/blif.h"
+#include "network/cone.h"
+#include "network/global_bdd.h"
+#include "network/topo.h"
+#include "sim/logic_sim.h"
+#include "sta/sta.h"
+#include "suite/circuit_gen.h"
+#include "suite/paper_suite.h"
+#include "suite/structured.h"
+
+namespace sm {
+namespace {
+
+TEST(CircuitGen, DeterministicByName) {
+  CircuitSpec spec;
+  spec.name = "determinism";
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.target_nodes = 40;
+  const Network a = GenerateCircuit(spec);
+  const Network b = GenerateCircuit(spec);
+  EXPECT_EQ(WriteBlifString(a), WriteBlifString(b));
+  spec.seed = 777;  // explicit seed changes the circuit
+  const Network c = GenerateCircuit(spec);
+  EXPECT_NE(WriteBlifString(a), WriteBlifString(c));
+}
+
+TEST(CircuitGen, RespectsInterfaceCounts) {
+  for (const char* name : {"alpha", "beta", "gamma"}) {
+    CircuitSpec spec;
+    spec.name = name;
+    spec.num_inputs = 30;
+    spec.num_outputs = 14;
+    spec.target_nodes = 120;
+    spec.profile = CircuitSpec::Profile::kSlicedControl;
+    const Network net = GenerateCircuit(spec);
+    EXPECT_EQ(net.NumInputs(), 30u);
+    EXPECT_EQ(net.NumOutputs(), 14u);
+    EXPECT_GT(net.NumLogicNodes(), 60u);
+    EXPECT_NO_THROW(net.CheckInvariants());
+  }
+}
+
+TEST(CircuitGen, SlicedProfileBoundsOutputSupports) {
+  CircuitSpec spec;
+  spec.name = "sliced_support";
+  spec.num_inputs = 120;
+  spec.num_outputs = 40;
+  spec.target_nodes = 300;
+  spec.profile = CircuitSpec::Profile::kSlicedControl;
+  spec.slice_width = 12;
+  const Network net = GenerateCircuit(spec);
+  for (const auto& o : net.outputs()) {
+    const auto support = ConeInputs(net, {o.driver});
+    // At most ~3 slices of support keeps global BDDs tractable.
+    EXPECT_LE(support.size(), 3u * 12u) << "output " << o.name;
+  }
+}
+
+TEST(CircuitGen, SpinesCreateTimingSpread) {
+  CircuitSpec spec;
+  spec.name = "spread";
+  spec.num_inputs = 40;
+  spec.num_outputs = 20;
+  spec.target_nodes = 200;
+  spec.profile = CircuitSpec::Profile::kSlicedControl;
+  const Network net = GenerateCircuit(spec);
+  const Library lib = Lsi10kLike();
+  const TechMapResult r = DecomposeAndMap(net, lib);
+  const TimingInfo t = AnalyzeTiming(r.netlist);
+  const auto critical = CriticalOutputs(r.netlist, t, 0.1);
+  // A strict minority of outputs is critical (paper: ~20%).
+  EXPECT_GE(critical.size(), 1u);
+  EXPECT_LE(critical.size(), r.netlist.NumOutputs() / 2);
+}
+
+TEST(PaperSuite, TablesHaveThePaperRows) {
+  const auto t2 = Table2Circuits();
+  ASSERT_EQ(t2.size(), 20u);
+  EXPECT_EQ(t2.front().spec.name, "i1");
+  EXPECT_EQ(t2.back().spec.name, "sparc_exu_ecl");
+  const auto t1 = Table1Circuits();
+  ASSERT_EQ(t1.size(), 5u);
+  EXPECT_EQ(t1[0].spec.num_inputs, 36);
+  EXPECT_EQ(t1[3].spec.name, "sparc_ifu_invctl");
+  EXPECT_EQ(t1[3].spec.num_inputs, 173);  // Table 1 variant
+  EXPECT_EQ(PaperCircuitByName("C880").spec.num_outputs, 26);
+  EXPECT_THROW(PaperCircuitByName("nope"), std::invalid_argument);
+}
+
+TEST(PaperSuite, AllCircuitsGenerateAndMap) {
+  const Library lib = Lsi10kLike();
+  for (const auto& info : Table2Circuits()) {
+    if (info.spec.num_inputs > 300) continue;  // big two covered in benches
+    const Network net = GenerateCircuit(info.spec);
+    EXPECT_EQ(net.NumInputs(), static_cast<std::size_t>(info.spec.num_inputs));
+    EXPECT_EQ(net.NumOutputs(),
+              static_cast<std::size_t>(info.spec.num_outputs));
+    const TechMapResult r = DecomposeAndMap(net, lib);
+    EXPECT_GT(r.netlist.NumGates(), 0u);
+    EXPECT_GT(AnalyzeTiming(r.netlist).critical_delay, 0.0);
+  }
+}
+
+// ------------------------------------------------------- structured circuits
+
+TEST(Structured, Comparator2FormsAgree) {
+  const Network ti = Comparator2Network();
+  const Library lib = UnitLibrary();
+  const MappedNetlist mapped = Comparator2Mapped(lib);
+  BddManager mgr(4);
+  const auto g = BuildGlobalBdds(mgr, ti);
+  // Exhaustive agreement between the TI network and the mapped netlist.
+  std::vector<std::uint64_t> words(4, 0);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    for (int v = 0; v < 4; ++v) {
+      if ((m >> v) & 1) words[static_cast<std::size_t>(v)] |= 1ull << m;
+    }
+  }
+  const auto mv = mapped.EvalParallel(words);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    std::vector<bool> assign(4);
+    for (int v = 0; v < 4; ++v) assign[static_cast<std::size_t>(v)] = (m >> v) & 1;
+    EXPECT_EQ(mgr.Eval(g[ti.output(0).driver], assign),
+              ((mv[mapped.output(0).driver] >> m) & 1) != 0);
+  }
+}
+
+TEST(Structured, RippleComparatorComputesGe) {
+  const Network net = RippleComparatorNetwork(4);
+  std::vector<std::uint64_t> words(8, 0);
+  // Pack 64 random-ish (a, b) pairs: use the minterm index directly.
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    for (int v = 0; v < 8; ++v) {
+      if ((m * 2654435761u >> v) & 1) words[static_cast<std::size_t>(v)] |= 1ull << m;
+    }
+  }
+  const auto values = EvalNetworkParallel(net, words);
+  const std::uint64_t ge = values[net.output(0).driver];
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    unsigned a = 0;
+    unsigned b = 0;
+    for (int v = 0; v < 4; ++v) {
+      a |= static_cast<unsigned>((words[static_cast<std::size_t>(v)] >> m) & 1) << v;
+      b |= static_cast<unsigned>((words[static_cast<std::size_t>(v + 4)] >> m) & 1)
+           << v;
+    }
+    EXPECT_EQ((ge >> m) & 1, a >= b ? 1u : 0u) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Structured, RippleCarryAdderAddsExhaustively) {
+  const int bits = 3;
+  const Network net = RippleCarryAdderNetwork(bits);
+  ASSERT_EQ(net.NumInputs(), 7u);
+  std::vector<std::uint64_t> words(7, 0);
+  // 2^7 = 128 cases across two 64-bit batches.
+  for (int batch = 0; batch < 2; ++batch) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const std::uint64_t m = static_cast<std::uint64_t>(batch) * 64 + i;
+      for (int v = 0; v < 7; ++v) {
+        if ((m >> v) & 1) {
+          words[static_cast<std::size_t>(v)] |= 1ull << i;
+        } else {
+          words[static_cast<std::size_t>(v)] &= ~(1ull << i);
+        }
+      }
+    }
+    const auto values = EvalNetworkParallel(net, words);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const std::uint64_t m = static_cast<std::uint64_t>(batch) * 64 + i;
+      unsigned a = 0;
+      unsigned b = 0;
+      for (int v = 0; v < bits; ++v) {
+        a |= static_cast<unsigned>((m >> v) & 1) << v;
+        b |= static_cast<unsigned>((m >> (v + bits)) & 1) << v;
+      }
+      const unsigned cin = static_cast<unsigned>((m >> (2 * bits)) & 1);
+      const unsigned total = a + b + cin;
+      for (int v = 0; v < bits; ++v) {
+        const auto s = values[net.output(static_cast<std::size_t>(v)).driver];
+        EXPECT_EQ((s >> i) & 1, (total >> v) & 1) << m;
+      }
+      const auto cout = values[net.output(static_cast<std::size_t>(bits)).driver];
+      EXPECT_EQ((cout >> i) & 1, (total >> bits) & 1) << m;
+    }
+  }
+}
+
+TEST(Structured, MiniAluOpcodeSemantics) {
+  const int bits = 3;
+  const Network net = MiniAluNetwork(bits);
+  ASSERT_EQ(net.NumInputs(), 8u);  // 2*3 operand bits + 2 opcode bits
+  std::vector<std::uint64_t> words(8, 0);
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    const std::uint64_t pat = m * 0x9e3779b97f4a7c15ULL;
+    for (int v = 0; v < 8; ++v) {
+      if ((pat >> v) & 1) words[static_cast<std::size_t>(v)] |= 1ull << m;
+    }
+  }
+  const auto values = EvalNetworkParallel(net, words);
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    unsigned a = 0;
+    unsigned b = 0;
+    for (int v = 0; v < bits; ++v) {
+      a |= static_cast<unsigned>((words[static_cast<std::size_t>(v)] >> m) & 1) << v;
+      b |= static_cast<unsigned>(
+               (words[static_cast<std::size_t>(v + bits)] >> m) & 1)
+           << v;
+    }
+    const unsigned op =
+        static_cast<unsigned>((words[6] >> m) & 1) |
+        static_cast<unsigned>(((words[7] >> m) & 1) << 1);
+    unsigned expect = 0;
+    switch (op) {
+      case 0: expect = (a + b) & 7u; break;
+      case 1: expect = a & b; break;
+      case 2: expect = a | b; break;
+      case 3: expect = a ^ b; break;
+    }
+    unsigned got = 0;
+    for (int v = 0; v < bits; ++v) {
+      got |= static_cast<unsigned>(
+                 (values[net.output(static_cast<std::size_t>(v)).driver] >> m) &
+                 1)
+             << v;
+    }
+    EXPECT_EQ(got, expect) << "a=" << a << " b=" << b << " op=" << op;
+  }
+}
+
+}  // namespace
+}  // namespace sm
