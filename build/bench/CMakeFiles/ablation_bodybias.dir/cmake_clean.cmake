@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bodybias.dir/ablation_bodybias.cc.o"
+  "CMakeFiles/ablation_bodybias.dir/ablation_bodybias.cc.o.d"
+  "ablation_bodybias"
+  "ablation_bodybias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bodybias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guardband.dir/ablation_guardband.cc.o"
+  "CMakeFiles/ablation_guardband.dir/ablation_guardband.cc.o.d"
+  "ablation_guardband"
+  "ablation_guardband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wearout.dir/ablation_wearout.cc.o"
+  "CMakeFiles/ablation_wearout.dir/ablation_wearout.cc.o.d"
+  "ablation_wearout"
+  "ablation_wearout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wearout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

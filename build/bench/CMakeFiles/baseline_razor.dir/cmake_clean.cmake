@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_razor.dir/baseline_razor.cc.o"
+  "CMakeFiles/baseline_razor.dir/baseline_razor.cc.o.d"
+  "baseline_razor"
+  "baseline_razor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_razor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

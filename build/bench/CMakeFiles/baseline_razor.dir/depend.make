@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_razor.
+# This may be replaced when dependencies are built.

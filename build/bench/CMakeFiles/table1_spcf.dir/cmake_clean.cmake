@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spcf.dir/table1_spcf.cc.o"
+  "CMakeFiles/table1_spcf.dir/table1_spcf.cc.o.d"
+  "table1_spcf"
+  "table1_spcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

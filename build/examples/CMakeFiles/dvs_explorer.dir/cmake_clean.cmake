@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_explorer.dir/dvs_explorer.cpp.o"
+  "CMakeFiles/dvs_explorer.dir/dvs_explorer.cpp.o.d"
+  "dvs_explorer"
+  "dvs_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

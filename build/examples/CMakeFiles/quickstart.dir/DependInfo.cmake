@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_masking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_spcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_liblib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

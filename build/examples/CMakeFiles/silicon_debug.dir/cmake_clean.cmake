@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_debug.dir/silicon_debug.cpp.o"
+  "CMakeFiles/silicon_debug.dir/silicon_debug.cpp.o.d"
+  "silicon_debug"
+  "silicon_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedmask_cli.dir/speedmask_cli.cpp.o"
+  "CMakeFiles/speedmask_cli.dir/speedmask_cli.cpp.o.d"
+  "speedmask_cli"
+  "speedmask_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedmask_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

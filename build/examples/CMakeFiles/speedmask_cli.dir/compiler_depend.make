@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for speedmask_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearout_monitor.dir/wearout_monitor.cpp.o"
+  "CMakeFiles/wearout_monitor.dir/wearout_monitor.cpp.o.d"
+  "wearout_monitor"
+  "wearout_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearout_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

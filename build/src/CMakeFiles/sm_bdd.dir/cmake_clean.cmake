@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_bdd.dir/bdd/bdd.cc.o"
+  "CMakeFiles/sm_bdd.dir/bdd/bdd.cc.o.d"
+  "CMakeFiles/sm_bdd.dir/bdd/bdd_util.cc.o"
+  "CMakeFiles/sm_bdd.dir/bdd/bdd_util.cc.o.d"
+  "libsm_bdd.a"
+  "libsm_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

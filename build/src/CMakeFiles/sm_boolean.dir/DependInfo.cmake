@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolean/cube.cc" "src/CMakeFiles/sm_boolean.dir/boolean/cube.cc.o" "gcc" "src/CMakeFiles/sm_boolean.dir/boolean/cube.cc.o.d"
+  "/root/repo/src/boolean/isop.cc" "src/CMakeFiles/sm_boolean.dir/boolean/isop.cc.o" "gcc" "src/CMakeFiles/sm_boolean.dir/boolean/isop.cc.o.d"
+  "/root/repo/src/boolean/sop.cc" "src/CMakeFiles/sm_boolean.dir/boolean/sop.cc.o" "gcc" "src/CMakeFiles/sm_boolean.dir/boolean/sop.cc.o.d"
+  "/root/repo/src/boolean/truth_table.cc" "src/CMakeFiles/sm_boolean.dir/boolean/truth_table.cc.o" "gcc" "src/CMakeFiles/sm_boolean.dir/boolean/truth_table.cc.o.d"
+  "/root/repo/src/boolean/two_level.cc" "src/CMakeFiles/sm_boolean.dir/boolean/two_level.cc.o" "gcc" "src/CMakeFiles/sm_boolean.dir/boolean/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_boolean.dir/boolean/cube.cc.o"
+  "CMakeFiles/sm_boolean.dir/boolean/cube.cc.o.d"
+  "CMakeFiles/sm_boolean.dir/boolean/isop.cc.o"
+  "CMakeFiles/sm_boolean.dir/boolean/isop.cc.o.d"
+  "CMakeFiles/sm_boolean.dir/boolean/sop.cc.o"
+  "CMakeFiles/sm_boolean.dir/boolean/sop.cc.o.d"
+  "CMakeFiles/sm_boolean.dir/boolean/truth_table.cc.o"
+  "CMakeFiles/sm_boolean.dir/boolean/truth_table.cc.o.d"
+  "CMakeFiles/sm_boolean.dir/boolean/two_level.cc.o"
+  "CMakeFiles/sm_boolean.dir/boolean/two_level.cc.o.d"
+  "libsm_boolean.a"
+  "libsm_boolean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

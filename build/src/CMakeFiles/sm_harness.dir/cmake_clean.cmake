@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_harness.dir/harness/flow.cc.o"
+  "CMakeFiles/sm_harness.dir/harness/flow.cc.o.d"
+  "CMakeFiles/sm_harness.dir/harness/table.cc.o"
+  "CMakeFiles/sm_harness.dir/harness/table.cc.o.d"
+  "libsm_harness.a"
+  "libsm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

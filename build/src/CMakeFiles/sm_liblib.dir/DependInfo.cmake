@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liblib/cell.cc" "src/CMakeFiles/sm_liblib.dir/liblib/cell.cc.o" "gcc" "src/CMakeFiles/sm_liblib.dir/liblib/cell.cc.o.d"
+  "/root/repo/src/liblib/library.cc" "src/CMakeFiles/sm_liblib.dir/liblib/library.cc.o" "gcc" "src/CMakeFiles/sm_liblib.dir/liblib/library.cc.o.d"
+  "/root/repo/src/liblib/lsi10k.cc" "src/CMakeFiles/sm_liblib.dir/liblib/lsi10k.cc.o" "gcc" "src/CMakeFiles/sm_liblib.dir/liblib/lsi10k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

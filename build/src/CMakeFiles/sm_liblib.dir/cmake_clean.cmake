@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_liblib.dir/liblib/cell.cc.o"
+  "CMakeFiles/sm_liblib.dir/liblib/cell.cc.o.d"
+  "CMakeFiles/sm_liblib.dir/liblib/library.cc.o"
+  "CMakeFiles/sm_liblib.dir/liblib/library.cc.o.d"
+  "CMakeFiles/sm_liblib.dir/liblib/lsi10k.cc.o"
+  "CMakeFiles/sm_liblib.dir/liblib/lsi10k.cc.o.d"
+  "libsm_liblib.a"
+  "libsm_liblib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_liblib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

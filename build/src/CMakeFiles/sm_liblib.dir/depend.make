@@ -1,0 +1,2 @@
+# Empty dependencies file for sm_liblib.
+# This may be replaced when dependencies are built.

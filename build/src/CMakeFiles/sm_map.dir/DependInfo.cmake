@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/mapped_bdd.cc" "src/CMakeFiles/sm_map.dir/map/mapped_bdd.cc.o" "gcc" "src/CMakeFiles/sm_map.dir/map/mapped_bdd.cc.o.d"
+  "/root/repo/src/map/mapped_netlist.cc" "src/CMakeFiles/sm_map.dir/map/mapped_netlist.cc.o" "gcc" "src/CMakeFiles/sm_map.dir/map/mapped_netlist.cc.o.d"
+  "/root/repo/src/map/netlist_io.cc" "src/CMakeFiles/sm_map.dir/map/netlist_io.cc.o" "gcc" "src/CMakeFiles/sm_map.dir/map/netlist_io.cc.o.d"
+  "/root/repo/src/map/tech_map.cc" "src/CMakeFiles/sm_map.dir/map/tech_map.cc.o" "gcc" "src/CMakeFiles/sm_map.dir/map/tech_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_liblib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

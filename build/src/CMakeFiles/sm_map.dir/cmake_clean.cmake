@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_map.dir/map/mapped_bdd.cc.o"
+  "CMakeFiles/sm_map.dir/map/mapped_bdd.cc.o.d"
+  "CMakeFiles/sm_map.dir/map/mapped_netlist.cc.o"
+  "CMakeFiles/sm_map.dir/map/mapped_netlist.cc.o.d"
+  "CMakeFiles/sm_map.dir/map/netlist_io.cc.o"
+  "CMakeFiles/sm_map.dir/map/netlist_io.cc.o.d"
+  "CMakeFiles/sm_map.dir/map/tech_map.cc.o"
+  "CMakeFiles/sm_map.dir/map/tech_map.cc.o.d"
+  "libsm_map.a"
+  "libsm_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

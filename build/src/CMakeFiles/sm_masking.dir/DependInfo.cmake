@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/masking/body_bias.cc" "src/CMakeFiles/sm_masking.dir/masking/body_bias.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/body_bias.cc.o.d"
+  "/root/repo/src/masking/care_set.cc" "src/CMakeFiles/sm_masking.dir/masking/care_set.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/care_set.cc.o.d"
+  "/root/repo/src/masking/indicator.cc" "src/CMakeFiles/sm_masking.dir/masking/indicator.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/indicator.cc.o.d"
+  "/root/repo/src/masking/integrate.cc" "src/CMakeFiles/sm_masking.dir/masking/integrate.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/integrate.cc.o.d"
+  "/root/repo/src/masking/razor.cc" "src/CMakeFiles/sm_masking.dir/masking/razor.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/razor.cc.o.d"
+  "/root/repo/src/masking/report.cc" "src/CMakeFiles/sm_masking.dir/masking/report.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/report.cc.o.d"
+  "/root/repo/src/masking/synth.cc" "src/CMakeFiles/sm_masking.dir/masking/synth.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/synth.cc.o.d"
+  "/root/repo/src/masking/telescopic.cc" "src/CMakeFiles/sm_masking.dir/masking/telescopic.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/telescopic.cc.o.d"
+  "/root/repo/src/masking/verify.cc" "src/CMakeFiles/sm_masking.dir/masking/verify.cc.o" "gcc" "src/CMakeFiles/sm_masking.dir/masking/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_spcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_liblib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_masking.dir/masking/body_bias.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/body_bias.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/care_set.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/care_set.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/indicator.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/indicator.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/integrate.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/integrate.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/razor.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/razor.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/report.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/report.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/synth.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/synth.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/telescopic.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/telescopic.cc.o.d"
+  "CMakeFiles/sm_masking.dir/masking/verify.cc.o"
+  "CMakeFiles/sm_masking.dir/masking/verify.cc.o.d"
+  "libsm_masking.a"
+  "libsm_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/blif.cc" "src/CMakeFiles/sm_network.dir/network/blif.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/blif.cc.o.d"
+  "/root/repo/src/network/cone.cc" "src/CMakeFiles/sm_network.dir/network/cone.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/cone.cc.o.d"
+  "/root/repo/src/network/decompose.cc" "src/CMakeFiles/sm_network.dir/network/decompose.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/decompose.cc.o.d"
+  "/root/repo/src/network/eliminate.cc" "src/CMakeFiles/sm_network.dir/network/eliminate.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/eliminate.cc.o.d"
+  "/root/repo/src/network/global_bdd.cc" "src/CMakeFiles/sm_network.dir/network/global_bdd.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/global_bdd.cc.o.d"
+  "/root/repo/src/network/network.cc" "src/CMakeFiles/sm_network.dir/network/network.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/network.cc.o.d"
+  "/root/repo/src/network/structural.cc" "src/CMakeFiles/sm_network.dir/network/structural.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/structural.cc.o.d"
+  "/root/repo/src/network/sweep.cc" "src/CMakeFiles/sm_network.dir/network/sweep.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/sweep.cc.o.d"
+  "/root/repo/src/network/topo.cc" "src/CMakeFiles/sm_network.dir/network/topo.cc.o" "gcc" "src/CMakeFiles/sm_network.dir/network/topo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_network.dir/network/blif.cc.o"
+  "CMakeFiles/sm_network.dir/network/blif.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/cone.cc.o"
+  "CMakeFiles/sm_network.dir/network/cone.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/decompose.cc.o"
+  "CMakeFiles/sm_network.dir/network/decompose.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/eliminate.cc.o"
+  "CMakeFiles/sm_network.dir/network/eliminate.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/global_bdd.cc.o"
+  "CMakeFiles/sm_network.dir/network/global_bdd.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/network.cc.o"
+  "CMakeFiles/sm_network.dir/network/network.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/structural.cc.o"
+  "CMakeFiles/sm_network.dir/network/structural.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/sweep.cc.o"
+  "CMakeFiles/sm_network.dir/network/sweep.cc.o.d"
+  "CMakeFiles/sm_network.dir/network/topo.cc.o"
+  "CMakeFiles/sm_network.dir/network/topo.cc.o.d"
+  "libsm_network.a"
+  "libsm_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

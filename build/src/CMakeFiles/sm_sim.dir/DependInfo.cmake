@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/sm_sim.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/sm_sim.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/logic_sim.cc" "src/CMakeFiles/sm_sim.dir/sim/logic_sim.cc.o" "gcc" "src/CMakeFiles/sm_sim.dir/sim/logic_sim.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/CMakeFiles/sm_sim.dir/sim/power.cc.o" "gcc" "src/CMakeFiles/sm_sim.dir/sim/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sm_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_liblib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

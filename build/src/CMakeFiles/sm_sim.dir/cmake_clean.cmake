@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_sim.dir/sim/event_sim.cc.o"
+  "CMakeFiles/sm_sim.dir/sim/event_sim.cc.o.d"
+  "CMakeFiles/sm_sim.dir/sim/logic_sim.cc.o"
+  "CMakeFiles/sm_sim.dir/sim/logic_sim.cc.o.d"
+  "CMakeFiles/sm_sim.dir/sim/power.cc.o"
+  "CMakeFiles/sm_sim.dir/sim/power.cc.o.d"
+  "libsm_sim.a"
+  "libsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_spcf.dir/spcf/spcf.cc.o"
+  "CMakeFiles/sm_spcf.dir/spcf/spcf.cc.o.d"
+  "CMakeFiles/sm_spcf.dir/spcf/timed_function.cc.o"
+  "CMakeFiles/sm_spcf.dir/spcf/timed_function.cc.o.d"
+  "libsm_spcf.a"
+  "libsm_spcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_spcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

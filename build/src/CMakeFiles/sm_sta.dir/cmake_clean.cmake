@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_sta.dir/sta/paths.cc.o"
+  "CMakeFiles/sm_sta.dir/sta/paths.cc.o.d"
+  "CMakeFiles/sm_sta.dir/sta/sta.cc.o"
+  "CMakeFiles/sm_sta.dir/sta/sta.cc.o.d"
+  "libsm_sta.a"
+  "libsm_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_suite.dir/suite/circuit_gen.cc.o"
+  "CMakeFiles/sm_suite.dir/suite/circuit_gen.cc.o.d"
+  "CMakeFiles/sm_suite.dir/suite/paper_suite.cc.o"
+  "CMakeFiles/sm_suite.dir/suite/paper_suite.cc.o.d"
+  "CMakeFiles/sm_suite.dir/suite/structured.cc.o"
+  "CMakeFiles/sm_suite.dir/suite/structured.cc.o.d"
+  "libsm_suite.a"
+  "libsm_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

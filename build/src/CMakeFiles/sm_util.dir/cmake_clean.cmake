@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_util.dir/util/check.cc.o"
+  "CMakeFiles/sm_util.dir/util/check.cc.o.d"
+  "CMakeFiles/sm_util.dir/util/rng.cc.o"
+  "CMakeFiles/sm_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/sm_util.dir/util/stats.cc.o"
+  "CMakeFiles/sm_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/sm_util.dir/util/strings.cc.o"
+  "CMakeFiles/sm_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/sm_util.dir/util/timer.cc.o"
+  "CMakeFiles/sm_util.dir/util/timer.cc.o.d"
+  "libsm_util.a"
+  "libsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/body_bias_test.dir/body_bias_test.cc.o"
+  "CMakeFiles/body_bias_test.dir/body_bias_test.cc.o.d"
+  "body_bias_test"
+  "body_bias_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/body_bias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

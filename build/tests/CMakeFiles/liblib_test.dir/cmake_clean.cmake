@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liblib_test.dir/liblib_test.cc.o"
+  "CMakeFiles/liblib_test.dir/liblib_test.cc.o.d"
+  "liblib_test"
+  "liblib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liblib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

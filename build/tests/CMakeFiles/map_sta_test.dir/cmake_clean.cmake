@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_sta_test.dir/map_sta_test.cc.o"
+  "CMakeFiles/map_sta_test.dir/map_sta_test.cc.o.d"
+  "map_sta_test"
+  "map_sta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_sta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_io_test.dir/netlist_io_test.cc.o"
+  "CMakeFiles/netlist_io_test.dir/netlist_io_test.cc.o.d"
+  "netlist_io_test"
+  "netlist_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/razor_test.dir/razor_test.cc.o"
+  "CMakeFiles/razor_test.dir/razor_test.cc.o.d"
+  "razor_test"
+  "razor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/razor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcf_test.dir/spcf_test.cc.o"
+  "CMakeFiles/spcf_test.dir/spcf_test.cc.o.d"
+  "spcf_test"
+  "spcf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescopic_test.dir/telescopic_test.cc.o"
+  "CMakeFiles/telescopic_test.dir/telescopic_test.cc.o.d"
+  "telescopic_test"
+  "telescopic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescopic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
