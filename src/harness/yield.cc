@@ -1,0 +1,17 @@
+#include "harness/yield.h"
+
+namespace sm {
+
+YieldMcResult EstimateTimingYield(const FlowResult& flow,
+                                  const YieldMcOptions& options) {
+  YieldMcOptions resolved = options;
+  if (resolved.clock < 0) resolved.clock = flow.timing.critical_delay;
+  if (resolved.coverage_target_arrival < 0) {
+    // The flow knows the exact Δ_y the SPCF (and hence the indicator's
+    // coverage guarantee) was built for; don't re-derive it from defaults.
+    resolved.coverage_target_arrival = flow.spcf.target_arrival;
+  }
+  return RunTimingYieldMc(flow.original, flow.protected_circuit, resolved);
+}
+
+}  // namespace sm

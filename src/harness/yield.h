@@ -1,0 +1,20 @@
+// Flow-level entry point for Monte-Carlo timing-yield estimation: takes a
+// finished masking-flow result and statistically compares C against the
+// protected C ∪ C̃ under a delay-variation model. Thin wiring over
+// variation/monte_carlo.h — the flow result already carries both netlists
+// and the nominal timing that defines the clock.
+#pragma once
+
+#include "harness/flow.h"
+#include "variation/monte_carlo.h"
+
+namespace sm {
+
+// Runs the engine on flow.original vs flow.protected_circuit. A negative
+// options.clock resolves to the flow's nominal critical delay Δ, so the
+// default question is "how often does variation break the shipped clock,
+// and how much of that does the masking circuit absorb?".
+YieldMcResult EstimateTimingYield(const FlowResult& flow,
+                                  const YieldMcOptions& options = {});
+
+}  // namespace sm

@@ -16,14 +16,14 @@ OverheadReport ComputeOverheads(const MappedNetlist& original,
   r.slack_percent = protected_circuit.SlackPercent();
   r.area_percent = protected_circuit.AreaOverheadPercent();
 
-  // Power overhead: identical pattern streams through both netlists. The
-  // protected netlist contains a verbatim copy of the original, so the
-  // difference is exactly the masking circuit + muxes under real stimuli.
-  Rng rng_a(seed);
-  Rng rng_b(seed);
-  const PowerReport p_orig = EstimatePower(original, rng_a, sim_words);
-  const PowerReport p_prot =
-      EstimatePower(protected_circuit.netlist, rng_b, sim_words);
+  // Power overhead: identical pattern streams through both netlists (same
+  // seed, same stream index). The protected netlist contains a verbatim copy
+  // of the original, so the difference is exactly the masking circuit +
+  // muxes under real stimuli.
+  const PowerReport p_orig = EstimatePower(original, seed, /*stream=*/0,
+                                           sim_words);
+  const PowerReport p_prot = EstimatePower(protected_circuit.netlist, seed,
+                                           /*stream=*/0, sim_words);
   r.power_percent = p_orig.dynamic <= 0
                         ? 0
                         : 100.0 * (p_prot.dynamic - p_orig.dynamic) /

@@ -59,6 +59,9 @@ EventSimResult SimulateTransition(const MappedNetlist& net,
   SM_REQUIRE(config.extra_delay.empty() ||
                  config.extra_delay.size() == net.NumElements(),
              "extra_delay must be empty or per-element");
+  SM_REQUIRE(config.delay_scale.empty() ||
+                 config.delay_scale.size() == net.NumElements(),
+             "delay_scale must be empty or per-element");
   SM_REQUIRE(config.clock >= 0, "clock must be non-negative");
 
   const auto& fanouts = net.Fanouts();
@@ -81,6 +84,9 @@ EventSimResult SimulateTransition(const MappedNetlist& net,
   auto extra = [&config](GateId id) {
     return config.extra_delay.empty() ? 0.0 : config.extra_delay[id];
   };
+  auto scale = [&config](GateId id) {
+    return config.delay_scale.empty() ? 1.0 : config.delay_scale[id];
+  };
 
   while (!queue.empty()) {
     const Event e = queue.top();
@@ -98,8 +104,8 @@ EventSimResult SimulateTransition(const MappedNetlist& net,
       const bool nv = EvalCell(cell, value, fin);
       for (int p = 0; p < cell.num_pins(); ++p) {
         if (fin[static_cast<std::size_t>(p)] != e.gate) continue;
-        queue.push(
-            Event{e.time + cell.pin_delay(p) + extra(g), g, nv, seq++});
+        queue.push(Event{e.time + cell.pin_delay(p) * scale(g) + extra(g), g,
+                         nv, seq++});
       }
     }
   }

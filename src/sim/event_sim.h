@@ -22,6 +22,11 @@ struct EventSimConfig {
   // Additive delay applied to every pin of the element (aging injection);
   // empty means zero everywhere. Indexed by GateId.
   std::vector<double> extra_delay;
+  // Multiplicative factor on every pin delay of the element — the same hook
+  // STA's AnalyzeTiming exposes, so a Monte-Carlo variation trial can be
+  // timed and simulated under one delay assignment. Empty means 1.0
+  // everywhere; applied before extra_delay is added. Indexed by GateId.
+  std::vector<double> delay_scale;
 };
 
 struct EventSimResult {

@@ -22,4 +22,10 @@ PowerReport EstimatePower(const MappedNetlist& net, Rng& rng, int num_words) {
   return PowerFromActivity(net, EstimateActivity(net, rng, num_words));
 }
 
+PowerReport EstimatePower(const MappedNetlist& net, std::uint64_t seed,
+                          std::uint64_t stream, int num_words) {
+  Rng rng = Rng::ForStream(seed, stream);
+  return EstimatePower(net, rng, num_words);
+}
+
 }  // namespace sm

@@ -18,6 +18,13 @@ struct PowerReport {
 PowerReport EstimatePower(const MappedNetlist& net, Rng& rng,
                           int num_words = 64);
 
+// Seeded variant: the pattern stream is Rng::ForStream(seed, stream), so
+// two netlists estimated with the same (seed, stream) see identical stimuli
+// (the fair-comparison contract of the Table-2 power overhead) without the
+// caller wiring Rng construction by hand.
+PowerReport EstimatePower(const MappedNetlist& net, std::uint64_t seed,
+                          std::uint64_t stream, int num_words = 64);
+
 // Power from a precomputed activity profile (e.g. shared between original
 // and protected netlists for a fair comparison).
 PowerReport PowerFromActivity(const MappedNetlist& net,

@@ -1,5 +1,7 @@
 #include "util/rng.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace sm {
@@ -16,6 +18,16 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+Rng Rng::ForStream(std::uint64_t seed, std::uint64_t stream) {
+  // Whiten the seed once, fold in the stream index, then mix again so that
+  // adjacent stream indices land in unrelated states (seed ⊕ stream alone
+  // would leave xoshiro seeds one splitmix step apart).
+  std::uint64_t state = seed;
+  const std::uint64_t whitened = SplitMix64(state);
+  std::uint64_t mix = whitened ^ stream;
+  return Rng(SplitMix64(mix));
 }
 
 Rng::Rng(std::uint64_t seed) {
@@ -64,6 +76,15 @@ bool Rng::Chance(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return Uniform() < p;
+}
+
+double Rng::Normal() {
+  // Box–Muller with a fixed draw count. Uniform() is in [0, 1); flip it to
+  // (0, 1] so the log argument is never zero.
+  const double u = 1.0 - Uniform();
+  const double v = Uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(kTwoPi * v);
 }
 
 std::vector<std::size_t> Rng::Sample(std::size_t n, std::size_t k) {

@@ -19,6 +19,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
+  // Counter-based stream splitting: a generator that depends only on
+  // (seed, stream), never on construction order. Every independent consumer
+  // of randomness (one per Monte-Carlo trial, one per simulation stream)
+  // takes its own stream index so results are reproducible regardless of
+  // thread count or evaluation order.
+  static Rng ForStream(std::uint64_t seed, std::uint64_t stream);
+
   std::uint64_t Next();
 
   // Uniform in [0, bound); bound must be > 0. Uses rejection sampling so the
@@ -33,6 +40,11 @@ class Rng {
 
   // Bernoulli with probability p.
   bool Chance(double p);
+
+  // Standard normal N(0, 1) via Box–Muller (no cached spare, so the number
+  // of uniforms consumed per call is fixed — required for counter-based
+  // stream reproducibility).
+  double Normal();
 
   // Fisher–Yates shuffle.
   template <typename T>

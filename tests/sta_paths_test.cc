@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "liblib/lsi10k.h"
+#include "sta/paths.h"
+#include "sta/sta.h"
+
+namespace sm {
+namespace {
+
+// Unit delay model: INV 1, two-input gates 2.
+//
+// Chain: a → inv1 → inv2 → y.  One PI→PO path of delay 2.
+MappedNetlist ChainNetlist(const Library& lib) {
+  MappedNetlist net("chain");
+  const GateId a = net.AddInput("a");
+  const Cell* inv = lib.ByNameOrThrow("INV");
+  const GateId i1 = net.AddGate(inv, {a}, "i1");
+  const GateId i2 = net.AddGate(inv, {i1}, "i2");
+  net.AddOutput("y", i2);
+  net.CheckInvariants();
+  return net;
+}
+
+// Diamond with a short bypass:
+//   g1 = AND2(a, b), y = OR2(g1, a).
+// Paths to y: a→g1→y (4), b→g1→y (4), a→y (2).
+MappedNetlist DiamondNetlist(const Library& lib) {
+  MappedNetlist net("diamond");
+  const GateId a = net.AddInput("a");
+  const GateId b = net.AddInput("b");
+  const Cell* and2 = lib.ByNameOrThrow("AND2");
+  const Cell* or2 = lib.ByNameOrThrow("OR2");
+  const GateId g1 = net.AddGate(and2, {a, b}, "g1");
+  const GateId y = net.AddGate(or2, {g1, a}, "y");
+  net.AddOutput("y", y);
+  net.CheckInvariants();
+  return net;
+}
+
+TEST(SpeedPaths, ThresholdExactlyAtPathDelayExcludesThePath) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = ChainNetlist(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  ASSERT_DOUBLE_EQ(timing.critical_delay, 2.0);
+
+  // Speed-paths are strictly longer than the threshold: equality is "meets
+  // timing" in the floating-mode model.
+  EXPECT_EQ(EnumerateSpeedPaths(net, timing, 1.9).size(), 1u);
+  EXPECT_EQ(CountSpeedPaths(net, timing, 1.9), 1u);
+  EXPECT_TRUE(EnumerateSpeedPaths(net, timing, 2.0).empty());
+  EXPECT_EQ(CountSpeedPaths(net, timing, 2.0), 0u);
+}
+
+TEST(SpeedPaths, RelaxedClockYieldsNoSpeedPaths) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = DiamondNetlist(lib);
+  // A relaxed clock (well above Δ) puts the speed-path threshold above
+  // every path delay.
+  const TimingInfo timing = AnalyzeTiming(net, /*clock=*/100.0);
+  const double threshold = 0.9 * timing.clock;
+  EXPECT_TRUE(EnumerateSpeedPaths(net, timing, threshold).empty());
+  EXPECT_EQ(CountSpeedPaths(net, timing, threshold), 0u);
+}
+
+TEST(SpeedPaths, EnumerationFindsAllPathsSortedByDelay) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = DiamondNetlist(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+  ASSERT_DOUBLE_EQ(timing.critical_delay, 4.0);
+
+  const auto all = EnumerateSpeedPaths(net, timing, 0.0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0].delay, 4.0);
+  EXPECT_DOUBLE_EQ(all[1].delay, 4.0);
+  EXPECT_DOUBLE_EQ(all[2].delay, 2.0);
+  // Every enumerated path starts at a PI and ends at the output driver.
+  for (const auto& p : all) {
+    EXPECT_TRUE(net.IsInput(p.elements.front()));
+    EXPECT_EQ(p.elements.back(), net.output(0).driver);
+  }
+
+  // Only the two long paths clear a threshold between the delays.
+  EXPECT_EQ(EnumerateSpeedPaths(net, timing, 3.0).size(), 2u);
+  EXPECT_EQ(CountSpeedPaths(net, timing, 3.0), 2u);
+}
+
+TEST(SpeedPaths, LimitAndCapSaturate) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = DiamondNetlist(lib);
+  const TimingInfo timing = AnalyzeTiming(net);
+
+  EXPECT_EQ(EnumerateSpeedPaths(net, timing, 0.0, /*limit=*/1).size(), 1u);
+  EXPECT_EQ(EnumerateSpeedPaths(net, timing, 0.0, /*limit=*/2).size(), 2u);
+  // A limit beyond the path count returns everything.
+  EXPECT_EQ(EnumerateSpeedPaths(net, timing, 0.0, /*limit=*/100).size(), 3u);
+
+  EXPECT_EQ(CountSpeedPaths(net, timing, 0.0, /*cap=*/1), 1u);
+  EXPECT_EQ(CountSpeedPaths(net, timing, 0.0, /*cap=*/2), 2u);
+  EXPECT_EQ(CountSpeedPaths(net, timing, 0.0, /*cap=*/100), 3u);
+}
+
+TEST(SpeedPaths, SharedDriverCountsOncePerOutput) {
+  const Library lib = UnitLibrary();
+  MappedNetlist net("shared");
+  const GateId a = net.AddInput("a");
+  const GateId i1 = net.AddGate(lib.ByNameOrThrow("INV"), {a}, "i1");
+  net.AddOutput("y0", i1);
+  net.AddOutput("y1", i1);
+  net.CheckInvariants();
+  const TimingInfo timing = AnalyzeTiming(net);
+
+  // Each output samples independently, so the single physical path is
+  // reported once per output.
+  EXPECT_EQ(CountSpeedPaths(net, timing, 0.5), 2u);
+  EXPECT_EQ(EnumerateSpeedPaths(net, timing, 0.5).size(), 2u);
+}
+
+}  // namespace
+}  // namespace sm
