@@ -1,0 +1,209 @@
+// BDD-kernel micro benchmark: runs the Table 1 SPCF workload (the hottest
+// BDD consumer in the repo) plus three synthetic kernel stressors, and emits
+// BENCH_bdd.json with wall times AND deterministic operation counts, so the
+// kernel's perf trajectory is machine-checkable even on a 1-CPU container.
+//
+// The embedded baseline is the pre-overhaul kernel (std::unordered_map
+// unique table, no complement edges, unnormalized ITE cache keys) measured
+// with exactly this workload: 139795 ITE recursions over the Table 1 suite.
+// The overhauled kernel must stay >= 25% below that (ISSUE 2 acceptance);
+// the JSON reports the reduction so CI can archive the trajectory.
+//
+// Usage: micro_bdd [--threads=N] [--json=PATH] [--smoke]
+//   --json defaults to BENCH_bdd.json; --smoke runs the reduced circuit
+//   list (no baseline comparison, since the baseline covers the full suite).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/bench_runner.h"
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+#include "suite/paper_suite.h"
+#include "util/timer.h"
+
+namespace sm {
+namespace {
+
+// Pre-overhaul kernel on the full Table 1 workload (same machine class; the
+// op count is exact and machine-independent, the seconds are indicative).
+constexpr std::size_t kBaselineTable1Ops = 139795;
+constexpr double kBaselineTable1Seconds = 0.0174;
+
+struct WorkloadStats {
+  std::size_t ops = 0;          // ITE/XOR recursions
+  std::size_t nodes = 0;        // interned nodes
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t unique_probes = 0;
+  double seconds = 0;
+
+  void Add(const BddStats& s, double secs) {
+    ops += s.ite_recursions;
+    nodes += s.num_nodes;
+    cache_hits += s.cache_hits;
+    cache_misses += s.cache_misses;
+    unique_probes += s.unique_probes;
+    seconds += secs;
+  }
+};
+
+std::string JsonObject(const WorkloadStats& w) {
+  std::ostringstream out;
+  out << "{\"ite_recursions\": " << w.ops << ", \"nodes\": " << w.nodes
+      << ", \"cache_hits\": " << w.cache_hits
+      << ", \"cache_misses\": " << w.cache_misses
+      << ", \"unique_probes\": " << w.unique_probes
+      << ", \"seconds\": " << w.seconds << "}";
+  return out.str();
+}
+
+// The Table 1 workload: all three SPCF algorithms per circuit, one fresh
+// manager per (circuit, algorithm) pair — identical methodology to the
+// baseline measurement.
+WorkloadStats RunTable1(const std::vector<PaperCircuitInfo>& infos,
+                        int threads) {
+  const Library lib = Lsi10kLike();
+  const std::vector<Network> nets = GenerateCircuits(infos, threads);
+  const std::vector<WorkloadStats> rows =
+      ParallelRows(infos.size(), threads, [&](std::size_t i) {
+        const TechMapResult mapped = DecomposeAndMap(nets[i], lib);
+        const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+        WorkloadStats w;
+        for (SpcfAlgorithm a :
+             {SpcfAlgorithm::kNodeBased, SpcfAlgorithm::kPathBasedExtension,
+              SpcfAlgorithm::kShortPathBased}) {
+          BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+          SpcfOptions o;
+          o.algorithm = a;
+          o.guard_band = 0.1;
+          WallTimer timer;
+          ComputeSpcf(mgr, mapped.netlist, timing, o);
+          w.Add(mgr.Stats(), timer.Seconds());
+        }
+        return w;
+      });
+  WorkloadStats total;
+  for (const WorkloadStats& w : rows) {
+    total.ops += w.ops;
+    total.nodes += w.nodes;
+    total.cache_hits += w.cache_hits;
+    total.cache_misses += w.cache_misses;
+    total.unique_probes += w.unique_probes;
+    total.seconds += w.seconds;
+  }
+  return total;
+}
+
+// 64-variable parity chain; linear with complement edges.
+WorkloadStats RunParity() {
+  BddManager mgr(64);
+  WallTimer timer;
+  BddManager::Ref f = mgr.False();
+  for (int v = 0; v < 64; ++v) f = mgr.Xor(f, mgr.Var(v));
+  WorkloadStats w;
+  w.Add(mgr.Stats(), timer.Seconds());
+  return w;
+}
+
+// 24-bit ripple-carry majority chain: c' = maj(a, b, c).
+WorkloadStats RunCarryChain() {
+  BddManager mgr(48);
+  WallTimer timer;
+  BddManager::Ref c = mgr.False();
+  for (int i = 0; i < 24; ++i) {
+    const BddManager::Ref a = mgr.Var(2 * i);
+    const BddManager::Ref b = mgr.Var(2 * i + 1);
+    c = mgr.Or(mgr.And(a, b), mgr.And(c, mgr.Or(a, b)));
+  }
+  WorkloadStats w;
+  w.Add(mgr.Stats(), timer.Seconds());
+  return w;
+}
+
+// 512-cube deterministic sum-of-products over 96 variables with sliding
+// local support (random global cube supports would make the BDD blow up
+// exponentially; local windows mirror the generator's locality). Drives the
+// unique-table resize path and the op-cache growth ladder.
+WorkloadStats RunSopStress() {
+  BddManager mgr(96);
+  WallTimer timer;
+  BddManager::Ref f = mgr.False();
+  for (int i = 0; i < 512; ++i) {
+    const int window = (i * 5) % 88;  // support ⊆ [window, window + 8)
+    BddManager::Ref cube = mgr.True();
+    for (int j = 0; j < 5; ++j) {
+      const int var = window + (i * 3 + j * 7 + (i >> 4)) % 8;
+      const BddManager::Ref lit =
+          ((i + j) & 1) != 0 ? mgr.NotVar(var) : mgr.Var(var);
+      cube = mgr.And(cube, lit);
+    }
+    f = mgr.Or(f, cube);
+  }
+  WorkloadStats w;
+  w.Add(mgr.Stats(), timer.Seconds());
+  return w;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchArgs(argc, argv);
+  if (opts.json_path.empty()) opts.json_path = "BENCH_bdd.json";
+  const std::vector<PaperCircuitInfo> infos =
+      opts.smoke ? Table1SmokeCircuits() : Table1Circuits();
+
+  const WorkloadStats table1 = RunTable1(infos, opts.threads);
+  const WorkloadStats parity = RunParity();
+  const WorkloadStats carry = RunCarryChain();
+  const WorkloadStats sop = RunSopStress();
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"micro_bdd\",\n  \"smoke\": "
+       << (opts.smoke ? "true" : "false")
+       << ",\n  \"threads\": " << opts.threads << ",\n  \"table1_suite\": "
+       << JsonObject(table1) << ",\n  \"kernels\": {\n    \"parity64\": "
+       << JsonObject(parity) << ",\n    \"carry_chain24\": "
+       << JsonObject(carry) << ",\n    \"sop_stress\": " << JsonObject(sop)
+       << "\n  }";
+  if (!opts.smoke) {
+    const double reduction =
+        100.0 *
+        (1.0 - static_cast<double>(table1.ops) /
+                   static_cast<double>(kBaselineTable1Ops));
+    json << ",\n  \"baseline_table1\": {\"ite_recursions\": "
+         << kBaselineTable1Ops
+         << ", \"seconds\": " << kBaselineTable1Seconds
+         << "},\n  \"ite_reduction_percent\": " << reduction;
+  }
+  json << "\n}\n";
+
+  std::cout << json.str();
+  std::ofstream out(opts.json_path);
+  if (!out) {
+    std::cerr << "cannot write " << opts.json_path << "\n";
+    return 1;
+  }
+  out << json.str();
+
+  if (!opts.smoke && table1.ops * 4 > kBaselineTable1Ops * 3) {
+    std::cerr << "!! kernel regression: " << table1.ops
+              << " ITE recursions on the Table 1 suite exceeds 75% of the "
+                 "pre-overhaul baseline ("
+              << kBaselineTable1Ops << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sm
+
+int main(int argc, char** argv) {
+  try {
+    return sm::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -5,8 +5,18 @@
 // Expected shape (paper): 100% coverage everywhere, average slack ~57%,
 // average area overhead ~18%, average power overhead ~16%, ~20% of primary
 // outputs critical.
+//
+// Usage: table2_overhead [--threads=N] [--json=PATH] [--smoke]
+//
+// Circuits run as independent pool tasks (one full masking flow and one
+// BddManager per task); stdout carries only deterministic values — the
+// wall-clock column of the paper's table is replaced by the kernel's ITE
+// recursion count — so the table is byte-identical at any thread count.
+// Wall-clock times go to stderr and the JSON dump.
+#include <fstream>
 #include <iostream>
 
+#include "harness/bench_runner.h"
 #include "harness/flow.h"
 #include "harness/table.h"
 #include "liblib/lsi10k.h"
@@ -18,8 +28,58 @@
 namespace sm {
 namespace {
 
-int Main() {
+// One circuit's worth of results; the FlowResult itself (and its BddManager)
+// is dropped inside the task so memory stays bounded by the pool width.
+struct CircuitRow {
+  OverheadReport report;
+  BddStats bdd;
+  double seconds = 0;
+};
+
+void WriteJson(const std::string& path, const std::vector<CircuitRow>& rows,
+               int threads, double wall_seconds) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"table2_overhead\",\n  \"threads\": " << threads
+      << ",\n  \"wall_seconds\": " << wall_seconds << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const OverheadReport& o = rows[i].report;
+    out << "    {\"circuit\": \"" << JsonEscape(o.circuit)
+        << "\", \"inputs\": " << o.num_inputs
+        << ", \"outputs\": " << o.num_outputs << ", \"gates\": " << o.num_gates
+        << ", \"critical_outputs\": " << o.critical_outputs
+        << ", \"critical_minterms\": " << o.critical_minterms
+        << ", \"slack_percent\": " << o.slack_percent
+        << ", \"area_percent\": " << o.area_percent
+        << ", \"power_percent\": " << o.power_percent << ", \"covered\": "
+        << ((o.coverage_100 && o.safety) ? "true" : "false")
+        << ", \"seconds\": " << rows[i].seconds
+        << ", \"bdd_nodes\": " << rows[i].bdd.num_nodes
+        << ", \"ite_recursions\": " << rows[i].bdd.ite_recursions << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv);
   const Library lib = Lsi10kLike();
+  const std::vector<PaperCircuitInfo> infos =
+      opts.smoke ? Table2SmokeCircuits() : Table2Circuits();
+
+  WallTimer wall;
+  const std::vector<Network> nets = GenerateCircuits(infos, opts.threads);
+  const std::vector<CircuitRow> rows =
+      ParallelRows(infos.size(), opts.threads, [&](std::size_t i) {
+        WallTimer timer;
+        const FlowResult r = RunMaskingFlow(nets[i], lib, FlowOptions{});
+        return CircuitRow{r.overheads, r.bdd, timer.Seconds()};
+      });
+  const double wall_seconds = wall.Seconds();
+
   std::cout << "Table 2: area and power overhead for 100% masking of timing\n"
             << "errors on speed-paths (guard band 10%)\n\n";
   TablePrinter table(std::cout, {{"Circuit", 18},
@@ -31,24 +91,18 @@ int Main() {
                                  {"Area%", 7},
                                  {"Power%", 7},
                                  {"Cov", 4},
-                                 {"t(s)", 6}});
+                                 {"BDD ops", 9}});
   table.PrintHeader();
 
   Accumulator slack;
   Accumulator area;
   Accumulator power;
   double critical_po_fraction_sum = 0;
-  std::size_t rows = 0;
+  std::size_t rows_count = 0;
   bool all_covered = true;
 
-  for (const auto& info : Table2Circuits()) {
-    const Network ti = GenerateCircuit(info.spec);
-    WallTimer timer;
-    FlowOptions options;
-    const FlowResult r = RunMaskingFlow(ti, lib, options);
-    const double seconds = timer.Seconds();
-    const OverheadReport& o = r.overheads;
-
+  for (const CircuitRow& row : rows) {
+    const OverheadReport& o = row.report;
     table.PrintRow(
         {o.circuit,
          std::to_string(o.num_inputs) + "/" + std::to_string(o.num_outputs),
@@ -56,15 +110,14 @@ int Main() {
          FormatCount(o.critical_minterms), FormatPercent(o.slack_percent),
          FormatPercent(o.area_percent), FormatPercent(o.power_percent),
          o.coverage_100 && o.safety ? "yes" : "NO",
-         FormatPercent(seconds, 1)});
+         std::to_string(row.bdd.ite_recursions)});
 
     slack.Add(o.slack_percent);
     area.Add(o.area_percent);
     power.Add(o.power_percent);
-    critical_po_fraction_sum +=
-        static_cast<double>(o.critical_outputs) /
-        static_cast<double>(o.num_outputs);
-    ++rows;
+    critical_po_fraction_sum += static_cast<double>(o.critical_outputs) /
+                                static_cast<double>(o.num_outputs);
+    ++rows_count;
     all_covered = all_covered && o.coverage_100 && o.safety;
   }
   table.PrintSeparator();
@@ -75,14 +128,31 @@ int Main() {
 
   std::cout << "\naverage critical-PO fraction: "
             << FormatPercent(100.0 * critical_po_fraction_sum /
-                             static_cast<double>(rows))
+                             static_cast<double>(rows_count))
             << "%   (paper: ~20%)\n"
             << "paper averages: slack 57%, area 18%, power 16%, coverage "
                "100%\n";
+
+  // Machine-dependent wall-clock numbers stay off stdout.
+  double seconds_total = 0;
+  for (const CircuitRow& row : rows) seconds_total += row.seconds;
+  std::cerr << "threads " << opts.threads << ", wall " << wall_seconds
+            << "s, per-circuit flow total " << seconds_total << "s\n";
+
+  if (!opts.json_path.empty()) {
+    WriteJson(opts.json_path, rows, opts.threads, wall_seconds);
+  }
   return all_covered ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace sm
 
-int main() { return sm::Main(); }
+int main(int argc, char** argv) {
+  try {
+    return sm::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

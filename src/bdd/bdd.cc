@@ -9,57 +9,157 @@
 namespace sm {
 namespace {
 
-// Unique/cache keys pack (var, lo, hi) into 64 bits: 12 + 26 + 26.
+// Refs are (node index << 1) | complement. Unique keys pack (var, lo, hi)
+// into 64 bits as 12 + 26 + 25: lo is a full ref, hi is stored regular (its
+// complement bit is always 0 in canonical form) so only its index is packed.
 constexpr std::uint32_t kMaxVarIndex = (1u << 12) - 1;
-constexpr std::size_t kMaxNodes = (std::size_t{1} << 26) - 1;
-constexpr std::size_t kIteCacheSize = std::size_t{1} << 20;
+constexpr std::size_t kMaxNodes = (std::size_t{1} << 25) - 1;
 
+constexpr BddManager::Ref kNeg = 1;  // complement bit of a ref
+
+constexpr std::size_t IndexOf(BddManager::Ref f) { return f >> 1; }
+constexpr bool IsNeg(BddManager::Ref f) { return (f & kNeg) != 0; }
+
+// Unique table grows when used/capacity exceeds 7/10.
+constexpr std::size_t kLoadNum = 7;
+constexpr std::size_t kLoadDen = 10;
+
+// Small managers (per-cube scratch, unit tests) are fully pre-reserved so
+// the resize path never runs; larger ones start here and double.
+constexpr std::size_t kPreReserveNodes = 4096;
+constexpr std::size_t kMinTableSlots = 256;
+constexpr std::size_t kInitialOpCacheLog2 = 12;
+
+// Full 64-bit finalizer (murmur3 fmix64): every input bit affects every
+// output bit, so masking to any power-of-two table size stays well mixed.
 std::uint64_t Mix(std::uint64_t h) {
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
   return h;
+}
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Smallest power-of-two capacity that holds `nodes` entries below the load
+// threshold.
+std::size_t TableCapacityFor(std::size_t nodes) {
+  return NextPow2(std::max(kMinTableSlots, nodes * kLoadDen / kLoadNum + 1));
 }
 
 }  // namespace
 
-BddManager::BddManager(int num_vars, std::size_t node_limit)
-    : num_vars_(num_vars),
-      node_limit_(std::min(node_limit, kMaxNodes)),
-      ite_cache_(kIteCacheSize) {
-  SM_REQUIRE(num_vars >= 0 && num_vars <= static_cast<int>(kMaxVarIndex),
+BddManager::BddManager(int num_vars, std::size_t node_limit,
+                       int op_cache_log2)
+    : num_vars_(num_vars), node_limit_(std::min(node_limit, kMaxNodes)) {
+  SM_REQUIRE(num_vars >= 0 && num_vars < static_cast<int>(kMaxVarIndex),
              "BDD variable count out of range: " << num_vars);
-  // Terminals occupy slots 0 (false) and 1 (true) with a sentinel var index
-  // greater than any real variable, simplifying TopVar comparisons.
-  nodes_.push_back(Node{kMaxVarIndex + 0u, 0, 0});
-  nodes_.push_back(Node{kMaxVarIndex + 0u, 1, 1});
+  SM_REQUIRE(op_cache_log2 >= 4 && op_cache_log2 <= 28,
+             "BDD op-cache log2 size out of range: " << op_cache_log2);
+  op_cache_max_ = std::size_t{1} << op_cache_log2;
+
+  // Pre-reserve from the node limit: managers bounded below kPreReserveNodes
+  // get a table that never resizes; unbounded ones start at the same modest
+  // capacity and double geometrically.
+  unique_.resize(TableCapacityFor(std::min(node_limit_, kPreReserveNodes)));
+  nodes_.reserve(std::min(node_limit_ + 1, kPreReserveNodes));
+
+  const std::size_t initial_cache =
+      std::min(std::size_t{1} << kInitialOpCacheLog2, op_cache_max_);
+  op_cache_.resize(initial_cache);
+  cache_grow_at_ =
+      initial_cache < op_cache_max_
+          ? initial_cache
+          : std::numeric_limits<std::size_t>::max();
+
+  // The single ⊤ terminal occupies node 0 with a sentinel var index greater
+  // than any real variable, simplifying top-variable comparisons.
+  nodes_.push_back(Node{kMaxVarIndex, kTrue, kTrue});
 }
 
 std::uint64_t BddManager::UniqueKey(std::uint32_t var, Ref lo, Ref hi) {
-  return (static_cast<std::uint64_t>(var) << 52) |
-         (static_cast<std::uint64_t>(lo) << 26) | hi;
+  return (static_cast<std::uint64_t>(var) << 51) |
+         (static_cast<std::uint64_t>(lo) << 25) | (hi >> 1);
 }
 
 std::uint64_t BddManager::CacheKey(Ref f, Ref g, Ref h) {
-  return Mix((static_cast<std::uint64_t>(f) << 38) ^
-             (static_cast<std::uint64_t>(g) << 19) ^ h ^
-             (static_cast<std::uint64_t>(h) << 44));
+  // Distinct odd multipliers per operand, then a full finalizer: commuted
+  // triples land in different slots, and any slice of the result is usable
+  // as a table index.
+  return Mix(0x9e3779b97f4a7c15ULL * f + 0xc2b2ae3d27d4eb4fULL * g +
+             0x165667b19e3779f9ULL * h);
+}
+
+void BddManager::GrowUniqueTable() {
+  std::vector<UniqueSlot> old = std::move(unique_);
+  unique_.assign(old.size() * 2, UniqueSlot{});
+  ++unique_resizes_;
+  const std::size_t mask = unique_.size() - 1;
+  for (const UniqueSlot& s : old) {
+    if (s.key == 0) continue;
+    std::size_t i = Mix(s.key) & mask;
+    while (unique_[i].key != 0) i = (i + 1) & mask;
+    unique_[i] = s;
+  }
+}
+
+void BddManager::GrowOpCache() {
+  const std::size_t new_size = std::min(op_cache_.size() * 4, op_cache_max_);
+  std::vector<CacheEntry> old = std::move(op_cache_);
+  op_cache_.assign(new_size, CacheEntry{});
+  const std::size_t mask = op_cache_.size() - 1;
+  // Rehash live entries so the grow step does not throw away hits.
+  for (const CacheEntry& e : old) {
+    if (e.f == kInvalidRef) continue;
+    op_cache_[CacheKey(e.f, e.g, e.h) & mask] = e;
+  }
+  cache_grow_at_ = new_size < op_cache_max_
+                       ? new_size
+                       : std::numeric_limits<std::size_t>::max();
 }
 
 BddManager::Ref BddManager::MakeNode(std::uint32_t var, Ref lo, Ref hi) {
   if (lo == hi) return lo;
+  // Canonical complement form: the then-edge of a stored node is regular. A
+  // complemented then-edge complements both edges and the resulting ref, so
+  // a function and its negation intern the same node.
+  const Ref out_neg = hi & kNeg;
+  if (out_neg != 0) {
+    lo ^= kNeg;
+    hi ^= kNeg;
+  }
   const std::uint64_t key = UniqueKey(var, lo, hi);
-  auto [it, inserted] = unique_.try_emplace(key, 0);
-  if (!inserted) return it->second;
+  const std::size_t mask = unique_.size() - 1;
+  std::size_t i = Mix(key) & mask;
+  ++unique_lookups_;
+  ++unique_probes_;
+  while (unique_[i].key != 0) {
+    if (unique_[i].key == key) return unique_[i].ref | out_neg;
+    i = (i + 1) & mask;
+    ++unique_probes_;
+  }
+  // Checked before any mutation, so an overflow leaves the table, the node
+  // store and the op cache all consistent and the manager usable.
   if (nodes_.size() >= node_limit_) {
-    unique_.erase(it);
     throw BddOverflowError("BDD node limit exceeded (" +
                            std::to_string(node_limit_) + ")");
   }
-  const Ref ref = static_cast<Ref>(nodes_.size());
+  const Ref ref = static_cast<Ref>(nodes_.size() << 1);
   nodes_.push_back(Node{var, lo, hi});
-  it->second = ref;
-  return ref;
+  unique_[i] = UniqueSlot{key, ref};
+  ++unique_used_;
+  const double load =
+      static_cast<double>(unique_used_) / static_cast<double>(unique_.size());
+  if (load > peak_load_) peak_load_ = load;
+  if (unique_used_ * kLoadDen >= unique_.size() * kLoadNum) GrowUniqueTable();
+  if (nodes_.size() >= cache_grow_at_) GrowOpCache();
+  return ref | out_neg;
 }
 
 BddManager::Ref BddManager::Var(int var) {
@@ -67,25 +167,36 @@ BddManager::Ref BddManager::Var(int var) {
   return MakeNode(static_cast<std::uint32_t>(var), kFalse, kTrue);
 }
 
-BddManager::Ref BddManager::NotVar(int var) {
-  SM_REQUIRE(var >= 0 && var < num_vars_, "BDD variable out of range");
-  return MakeNode(static_cast<std::uint32_t>(var), kTrue, kFalse);
-}
-
-BddManager::Ref BddManager::Not(Ref f) { return IteRec(f, kFalse, kTrue); }
+BddManager::Ref BddManager::NotVar(int var) { return Var(var) ^ kNeg; }
 
 BddManager::Ref BddManager::And(Ref f, Ref g) { return IteRec(f, g, kFalse); }
 
 BddManager::Ref BddManager::Or(Ref f, Ref g) { return IteRec(f, kTrue, g); }
 
-BddManager::Ref BddManager::Xor(Ref f, Ref g) {
-  return IteRec(f, IteRec(g, kFalse, kTrue), g);
-}
+BddManager::Ref BddManager::Xor(Ref f, Ref g) { return XorRec(f, g); }
 
 BddManager::Ref BddManager::Ite(Ref f, Ref g, Ref h) {
-  SM_REQUIRE(f < nodes_.size() && g < nodes_.size() && h < nodes_.size(),
+  SM_REQUIRE(IndexOf(f) < nodes_.size() && IndexOf(g) < nodes_.size() &&
+                 IndexOf(h) < nodes_.size(),
              "Ite operand is not a node of this manager");
   return IteRec(f, g, h);
+}
+
+bool BddManager::CacheLookup(Ref f, Ref g, Ref h, Ref* result) {
+  const CacheEntry& e = op_cache_[CacheKey(f, g, h) & (op_cache_.size() - 1)];
+  if (e.f == f && e.g == g && e.h == h) {
+    ++cache_hits_;
+    *result = e.result;
+    return true;
+  }
+  ++cache_misses_;
+  return false;
+}
+
+void BddManager::CacheStore(Ref f, Ref g, Ref h, Ref result) {
+  // Recomputed slot index: the cache may have grown during the recursion.
+  op_cache_[CacheKey(f, g, h) & (op_cache_.size() - 1)] =
+      CacheEntry{f, g, h, result};
 }
 
 BddManager::Ref BddManager::IteRec(Ref f, Ref g, Ref h) {
@@ -93,34 +204,136 @@ BddManager::Ref BddManager::IteRec(Ref f, Ref g, Ref h) {
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
+  // Operand rewrites; the free complement makes all four cheap:
+  //   ite(f, f, h) = f ∨ h        ite(f, ¬f, h) = ¬f ∧ h
+  //   ite(f, g, f) = f ∧ g        ite(f, g, ¬f) = g ∨ ¬f
+  if (f == g) {
+    g = kTrue;
+  } else if (f == (g ^ kNeg)) {
+    g = kFalse;
+  }
+  if (f == h) {
+    h = kFalse;
+  } else if (f == (h ^ kNeg)) {
+    h = kTrue;
+  }
+  // The rewrites can re-create a terminal case (e.g. ite(f,0,f) → g == h).
+  if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return f ^ kNeg;
 
-  const std::uint64_t key = CacheKey(f, g, h);
-  CacheEntry& slot = ite_cache_[key & (kIteCacheSize - 1)];
-  if (slot.f == f && slot.g == g && slot.h == h) return slot.result;
+  // Canonical operand order for the commutative forms (comparing node
+  // indices), so symmetric calls share one cache slot and one recursion:
+  //   ite(f,g,0) = ite(g,f,0)        ite(f,1,h) = ite(h,1,f)
+  //   ite(f,0,h) = ite(¬h,0,¬f)      ite(f,g,1) = ite(¬g,¬f,1)
+  //   ite(f,g,¬g) = ite(g,f,¬f)
+  if (h == kFalse) {
+    if (IndexOf(g) < IndexOf(f)) std::swap(f, g);
+  } else if (g == kTrue) {
+    if (IndexOf(h) < IndexOf(f)) std::swap(f, h);
+  } else if (g == kFalse) {
+    if (IndexOf(h) < IndexOf(f)) {
+      const Ref t = f;
+      f = h ^ kNeg;
+      h = t ^ kNeg;
+    }
+  } else if (h == kTrue) {
+    if (IndexOf(g) < IndexOf(f)) {
+      const Ref t = f;
+      f = g ^ kNeg;
+      g = t ^ kNeg;
+    }
+  } else if (g == (h ^ kNeg)) {
+    if (IndexOf(g) < IndexOf(f)) {
+      const Ref t = f;
+      f = g;
+      g = t;
+      h = t ^ kNeg;
+    }
+  }
 
-  const std::uint32_t vf = nodes_[f].var;
-  const std::uint32_t vg = nodes_[g].var;
-  const std::uint32_t vh = nodes_[h].var;
+  // Two canonicity rules keep the cached triple unique: the predicate is
+  // regular (ite(¬f,g,h) = ite(f,h,g)) and so is the then-operand
+  // (ite(f,¬g,¬h) = ¬ite(f,g,h)), pushing complements to the result edge.
+  if (IsNeg(f)) {
+    f ^= kNeg;
+    std::swap(g, h);
+  }
+  Ref out_neg = 0;
+  if (IsNeg(g)) {
+    out_neg = kNeg;
+    g ^= kNeg;
+    h ^= kNeg;
+  }
+
+  Ref cached;
+  if (CacheLookup(f, g, h, &cached)) return cached ^ out_neg;
+  ++ite_recursions_;
+
+  const std::uint32_t vf = nodes_[IndexOf(f)].var;
+  const std::uint32_t vg = nodes_[IndexOf(g)].var;
+  const std::uint32_t vh = nodes_[IndexOf(h)].var;
   const std::uint32_t top = std::min({vf, vg, vh});
-  SM_CHECK(top <= kMaxVarIndex, "ITE reached terminals unexpectedly");
+  SM_CHECK(top < kMaxVarIndex, "ITE reached terminals unexpectedly");
 
-  const Ref f0 = vf == top ? nodes_[f].lo : f;
-  const Ref f1 = vf == top ? nodes_[f].hi : f;
-  const Ref g0 = vg == top ? nodes_[g].lo : g;
-  const Ref g1 = vg == top ? nodes_[g].hi : g;
-  const Ref h0 = vh == top ? nodes_[h].lo : h;
-  const Ref h1 = vh == top ? nodes_[h].hi : h;
+  // Copy the nodes: recursion below may grow nodes_ and invalidate refs.
+  // f and g are regular here, so their stored edges are their cofactors;
+  // h's complement bit is pushed onto its edges.
+  const Node nf = nodes_[IndexOf(f)];
+  const Node ng = nodes_[IndexOf(g)];
+  const Node nh = nodes_[IndexOf(h)];
+  const Ref hc = h & kNeg;
+  const Ref f0 = vf == top ? nf.lo : f;
+  const Ref f1 = vf == top ? nf.hi : f;
+  const Ref g0 = vg == top ? ng.lo : g;
+  const Ref g1 = vg == top ? ng.hi : g;
+  const Ref h0 = vh == top ? (nh.lo ^ hc) : h;
+  const Ref h1 = vh == top ? (nh.hi ^ hc) : h;
 
   const Ref lo = IteRec(f0, g0, h0);
   const Ref hi = IteRec(f1, g1, h1);
   const Ref result = MakeNode(top, lo, hi);
 
-  slot.f = f;
-  slot.g = g;
-  slot.h = h;
-  slot.result = result;
-  return result;
+  CacheStore(f, g, h, result);
+  return result ^ out_neg;
+}
+
+BddManager::Ref BddManager::XorRec(Ref f, Ref g) {
+  // Complements factor out of xor entirely: (f⊕a) ⊕ (g⊕b) = (f⊕g) ⊕ (a⊕b)
+  // for complement bits a, b — so strip both operands to regular refs and
+  // apply the combined complement to the result.
+  const Ref out_neg = (f ^ g) & kNeg;
+  f &= ~kNeg;
+  g &= ~kNeg;
+  // Terminal cases (regular refs, so only ⊤ can appear as a constant).
+  if (f == g) return kFalse ^ out_neg;
+  if (f == kTrue) return g ^ kNeg ^ out_neg;
+  if (g == kTrue) return f ^ kNeg ^ out_neg;
+  // Canonical operand order: xor is commutative.
+  if (IndexOf(g) < IndexOf(f)) std::swap(f, g);
+
+  Ref cached;
+  if (CacheLookup(f, g, kXorTag, &cached)) return cached ^ out_neg;
+  ++ite_recursions_;
+
+  const std::uint32_t vf = nodes_[IndexOf(f)].var;
+  const std::uint32_t vg = nodes_[IndexOf(g)].var;
+  const std::uint32_t top = std::min(vf, vg);
+
+  // Copy the nodes: recursion below may grow nodes_ and invalidate refs.
+  const Node nf = nodes_[IndexOf(f)];
+  const Node ng = nodes_[IndexOf(g)];
+  const Ref f0 = vf == top ? nf.lo : f;
+  const Ref f1 = vf == top ? nf.hi : f;
+  const Ref g0 = vg == top ? ng.lo : g;
+  const Ref g1 = vg == top ? ng.hi : g;
+
+  const Ref lo = XorRec(f0, g0);
+  const Ref hi = XorRec(f1, g1);
+  const Ref result = MakeNode(top, lo, hi);
+
+  CacheStore(f, g, kXorTag, result);
+  return result ^ out_neg;
 }
 
 BddManager::Ref BddManager::Cofactor(Ref f, int var, bool value) {
@@ -143,15 +356,17 @@ BddManager::Ref BddManager::Exists(Ref f, std::vector<int> vars) {
 BddManager::Ref BddManager::ExistsRec(Ref f, const std::vector<int>& vars,
                                       std::unordered_map<Ref, Ref>& memo) {
   if (IsConst(f)) return f;
+  // ∃x.¬f ≠ ¬∃x.f, so the memo is keyed on the full ref incl. complement.
   const auto it = memo.find(f);
   if (it != memo.end()) return it->second;
 
   // Copy the node: recursion below may grow nodes_ and invalidate refs.
-  const Node n = nodes_[f];
+  const Node n = nodes_[IndexOf(f)];
+  const Ref c = f & kNeg;
   const bool quantified =
       std::binary_search(vars.begin(), vars.end(), static_cast<int>(n.var));
-  const Ref lo = ExistsRec(n.lo, vars, memo);
-  const Ref hi = ExistsRec(n.hi, vars, memo);
+  const Ref lo = ExistsRec(n.lo ^ c, vars, memo);
+  const Ref hi = ExistsRec(n.hi ^ c, vars, memo);
   const Ref result =
       quantified ? IteRec(lo, kTrue, hi) : MakeNode(n.var, lo, hi);
   memo.emplace(f, result);
@@ -168,17 +383,18 @@ BddManager::Ref BddManager::ComposeRec(Ref f, int var, Ref g,
                                        std::unordered_map<Ref, Ref>& memo) {
   if (IsConst(f)) return f;
   // Copy the node: recursion below may grow nodes_ and invalidate refs.
-  const Node n = nodes_[f];
+  const Node n = nodes_[IndexOf(f)];
   if (static_cast<int>(n.var) > var) return f;  // var cannot occur below
   const auto it = memo.find(f);
   if (it != memo.end()) return it->second;
 
+  const Ref c = f & kNeg;
   Ref result;
   if (static_cast<int>(n.var) == var) {
-    result = IteRec(g, n.hi, n.lo);
+    result = IteRec(g, n.hi ^ c, n.lo ^ c);
   } else {
-    const Ref lo = ComposeRec(n.lo, var, g, memo);
-    const Ref hi = ComposeRec(n.hi, var, g, memo);
+    const Ref lo = ComposeRec(n.lo ^ c, var, g, memo);
+    const Ref hi = ComposeRec(n.hi ^ c, var, g, memo);
     // Rebuild with ITE: g may contain variables ordered above n.var.
     result = IteRec(MakeNode(n.var, kFalse, kTrue), hi, lo);
   }
@@ -193,15 +409,20 @@ double BddManager::SatFraction(Ref f) {
 
 double BddManager::SatFractionRec(
     Ref f, std::unordered_map<Ref, double>& memo) const {
-  if (f == kFalse) return 0.0;
   if (f == kTrue) return 1.0;
-  const auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
-  const Node& n = nodes_[f];
-  const double d =
-      0.5 * (SatFractionRec(n.lo, memo) + SatFractionRec(n.hi, memo));
-  memo.emplace(f, d);
-  return d;
+  if (f == kFalse) return 0.0;
+  // Memo on the regular ref; a complement edge is 1 - fraction.
+  const Ref reg = f & ~kNeg;
+  const auto it = memo.find(reg);
+  double d;
+  if (it != memo.end()) {
+    d = it->second;
+  } else {
+    const Node& n = nodes_[IndexOf(reg)];
+    d = 0.5 * (SatFractionRec(n.lo, memo) + SatFractionRec(n.hi, memo));
+    memo.emplace(reg, d);
+  }
+  return IsNeg(f) ? 1.0 - d : d;
 }
 
 double BddManager::SatCount(Ref f, int over_vars) {
@@ -223,30 +444,35 @@ std::vector<std::pair<int, bool>> BddManager::SatOne(Ref f) const {
   SM_REQUIRE(f != kFalse, "SatOne on the empty function");
   std::vector<std::pair<int, bool>> out;
   while (f != kTrue) {
-    const Node& n = nodes_[f];
-    if (n.hi != kFalse) {
+    const Node& n = nodes_[IndexOf(f)];
+    const Ref c = f & kNeg;
+    // Any non-⊥ cofactor is satisfiable (non-constants are satisfiable by
+    // reduction), so a greedy descent always reaches ⊤.
+    const Ref hi = n.hi ^ c;
+    if (hi != kFalse) {
       out.emplace_back(static_cast<int>(n.var), true);
-      f = n.hi;
+      f = hi;
     } else {
       out.emplace_back(static_cast<int>(n.var), false);
-      f = n.lo;
+      f = n.lo ^ c;
     }
   }
   return out;
 }
 
 std::vector<int> BddManager::Support(Ref f) const {
+  // Complement bits do not change support; traverse by node index.
   std::vector<bool> seen(nodes_.size(), false);
   std::vector<bool> in_support(static_cast<std::size_t>(num_vars_), false);
   std::vector<Ref> stack{f};
   while (!stack.empty()) {
-    const Ref r = stack.back();
+    const std::size_t idx = IndexOf(stack.back());
     stack.pop_back();
-    if (IsConst(r) || seen[r]) continue;
-    seen[r] = true;
-    in_support[nodes_[r].var] = true;
-    stack.push_back(nodes_[r].lo);
-    stack.push_back(nodes_[r].hi);
+    if (idx == 0 || seen[idx]) continue;
+    seen[idx] = true;
+    in_support[nodes_[idx].var] = true;
+    stack.push_back(nodes_[idx].lo);
+    stack.push_back(nodes_[idx].hi);
   }
   std::vector<int> out;
   for (int v = 0; v < num_vars_; ++v) {
@@ -259,43 +485,62 @@ bool BddManager::Eval(Ref f, const std::vector<bool>& values) const {
   SM_REQUIRE(static_cast<int>(values.size()) >= num_vars_,
              "Eval needs one value per variable");
   while (!IsConst(f)) {
-    const Node& n = nodes_[f];
-    f = values[n.var] ? n.hi : n.lo;
+    const Node& n = nodes_[IndexOf(f)];
+    // The complement bit distributes onto the chosen cofactor.
+    f = (values[n.var] ? n.hi : n.lo) ^ (f & kNeg);
   }
   return f == kTrue;
 }
 
 int BddManager::TopVar(Ref f) const {
   SM_REQUIRE(!IsConst(f), "TopVar on a terminal");
-  return static_cast<int>(nodes_[f].var);
+  return static_cast<int>(nodes_[IndexOf(f)].var);
 }
 
 BddManager::Ref BddManager::Low(Ref f) const {
   SM_REQUIRE(!IsConst(f), "Low on a terminal");
-  return nodes_[f].lo;
+  return nodes_[IndexOf(f)].lo ^ (f & kNeg);
 }
 
 BddManager::Ref BddManager::High(Ref f) const {
   SM_REQUIRE(!IsConst(f), "High on a terminal");
-  return nodes_[f].hi;
+  return nodes_[IndexOf(f)].hi ^ (f & kNeg);
 }
 
 std::size_t BddManager::DagSize(Ref f) const {
+  // Distinct nodes reachable from f, counting the shared ⊤ terminal once.
   std::vector<bool> seen(nodes_.size(), false);
   std::vector<Ref> stack{f};
   std::size_t count = 0;
   while (!stack.empty()) {
-    const Ref r = stack.back();
+    const std::size_t idx = IndexOf(stack.back());
     stack.pop_back();
-    if (seen[r]) continue;
-    seen[r] = true;
+    if (seen[idx]) continue;
+    seen[idx] = true;
     ++count;
-    if (!IsConst(r)) {
-      stack.push_back(nodes_[r].lo);
-      stack.push_back(nodes_[r].hi);
+    if (idx != 0) {
+      stack.push_back(nodes_[idx].lo);
+      stack.push_back(nodes_[idx].hi);
     }
   }
   return count;
+}
+
+BddStats BddManager::Stats() const {
+  BddStats s;
+  s.num_nodes = nodes_.size();
+  s.unique_lookups = unique_lookups_;
+  s.unique_probes = unique_probes_;
+  s.unique_resizes = unique_resizes_;
+  s.unique_capacity = unique_.size();
+  s.load_factor =
+      static_cast<double>(unique_used_) / static_cast<double>(unique_.size());
+  s.peak_load_factor = peak_load_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  s.cache_capacity = op_cache_.size();
+  s.ite_recursions = ite_recursions_;
+  return s;
 }
 
 }  // namespace sm

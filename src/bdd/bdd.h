@@ -2,10 +2,29 @@
 //
 // speedmask uses BDDs for all *global* (primary-input-space) reasoning: the
 // timed characteristic functions of Sec. 3, SPCF minterm counting, cube
-// essential weights and the formal safety/coverage checks of Sec. 4. The
-// manager is deliberately simple — no complement edges, no garbage
-// collection — nodes are interned for the manager's lifetime and a hard node
-// limit turns pathological growth into a typed exception rather than an OOM.
+// essential weights and the formal safety/coverage checks of Sec. 4. Nodes
+// are interned for the manager's lifetime (no garbage collection) and a hard
+// node limit turns pathological growth into a typed exception rather than an
+// OOM.
+//
+// The kernel is built for throughput:
+//  - Complement edges: a Ref is (node index << 1) | complement, with one ⊤
+//    terminal and the CUDD canonical form (the then-edge of a stored node is
+//    never complemented). Negation is a single bit flip, and a function and
+//    its complement share every node — which halves the timed-function
+//    engine's work, since the χ recursions constantly pair a global function
+//    with its negation.
+//  - The unique table is a custom open-addressing hash table (power-of-two
+//    capacity, stored 64-bit keys, linear probing, geometric doubling)
+//    instead of std::unordered_map.
+//  - The ITE/XOR operation cache is a direct-mapped array that starts small
+//    and grows with the node count up to a configurable ceiling, so tiny
+//    scratch managers cost kilobytes while big SPCF runs keep a large cache.
+//  - ITE calls are normalized before the cache lookup (constant/complement
+//    operand rewrites, canonical operand order for the commutative forms,
+//    regular predicate and then-operand) so symmetric and complemented calls
+//    all share one cache slot. `Stats()` exposes the work counters the
+//    benches and the SPCF flow report.
 //
 // Variable order equals variable index (0 at the root). Callers choose the
 // index order; the network layer assigns PI indices in declaration order,
@@ -26,14 +45,38 @@ class BddOverflowError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+// Work counters of one manager, cumulative since construction. All counts
+// are deterministic functions of the operation sequence, so they double as
+// machine-checkable perf metrics (bench/micro_bdd).
+struct BddStats {
+  std::size_t num_nodes = 0;        // interned nodes incl. the ⊤ terminal
+  std::size_t unique_lookups = 0;   // MakeNode interning attempts
+  std::size_t unique_probes = 0;    // slots inspected across all lookups
+  std::size_t unique_resizes = 0;   // geometric doublings performed
+  std::size_t unique_capacity = 0;  // current slot count (power of two)
+  double load_factor = 0;           // current used/capacity
+  double peak_load_factor = 0;      // max load ever reached before a resize
+  std::size_t cache_hits = 0;       // ITE/XOR op-cache hits
+  std::size_t cache_misses = 0;     // ITE/XOR op-cache misses
+  std::size_t cache_capacity = 0;   // current op-cache entries (power of two)
+  // Recursive expansions actually performed (= cache misses that had to
+  // cofactor and rebuild). The primary deterministic work measure.
+  std::size_t ite_recursions = 0;
+};
+
 class BddManager {
  public:
+  // (node index << 1) | complement bit. The single ⊤ terminal is node 0, so
+  // True is ref 0 and False is its complement edge, ref 1.
   using Ref = std::uint32_t;
 
-  static constexpr Ref kFalse = 0;
-  static constexpr Ref kTrue = 1;
+  static constexpr Ref kTrue = 0;
+  static constexpr Ref kFalse = 1;
 
-  explicit BddManager(int num_vars, std::size_t node_limit = 40'000'000);
+  // `op_cache_log2` caps the operation cache at 2^op_cache_log2 entries;
+  // the cache starts small and grows with the node count up to that ceiling.
+  explicit BddManager(int num_vars, std::size_t node_limit = 40'000'000,
+                      int op_cache_log2 = 20);
 
   int num_vars() const { return num_vars_; }
 
@@ -42,7 +85,8 @@ class BddManager {
   Ref Var(int var);
   Ref NotVar(int var);
 
-  Ref Not(Ref f);
+  // O(1): complement edges make negation a bit flip.
+  Ref Not(Ref f) const { return f ^ Ref{1}; }
   Ref And(Ref f, Ref g);
   Ref Or(Ref f, Ref g);
   Ref Xor(Ref f, Ref g);
@@ -59,7 +103,7 @@ class BddManager {
   // Substitutes `g` for variable `var` in `f`.
   Ref Compose(Ref f, int var, Ref g);
 
-  bool IsConst(Ref f) const { return f <= kTrue; }
+  bool IsConst(Ref f) const { return (f >> 1) == 0; }
 
   // Fraction of the 2^num_vars minterm space satisfying f, in [0, 1].
   double SatFraction(Ref f);
@@ -79,15 +123,24 @@ class BddManager {
   // Evaluates f under a full assignment (values[i] = variable i).
   bool Eval(Ref f, const std::vector<bool>& values) const;
 
-  // Structural accessors for external traversals. Requires !IsConst(f).
+  // Structural accessors for external traversals; Low/High return the
+  // cofactors of f (the stored edge with f's complement bit applied).
+  // Requires !IsConst(f).
   int TopVar(Ref f) const;
   Ref Low(Ref f) const;
   Ref High(Ref f) const;
 
-  // Nodes interned so far (including the two terminals).
+  // Nodes interned so far (including the ⊤ terminal).
   std::size_t NumNodes() const { return nodes_.size(); }
   // Nodes reachable from f.
   std::size_t DagSize(Ref f) const;
+
+  // Snapshot of the cumulative work counters.
+  BddStats Stats() const;
+
+  // Operation-cache slot hash for the normalized triple (f, g, h). Exposed
+  // so tests can assert its collision rate; not part of the BDD semantics.
+  static std::uint64_t CacheKey(Ref f, Ref g, Ref h);
 
  private:
   struct Node {
@@ -96,31 +149,61 @@ class BddManager {
     Ref hi;
   };
 
+  // Open-addressing unique-table slot. `key` packs (var, lo, hi); key == 0
+  // marks an empty slot (no interned node packs to 0 because lo == hi nodes
+  // are never created).
+  struct UniqueSlot {
+    std::uint64_t key = 0;
+    Ref ref = 0;
+  };
+
   // Direct-mapped lossy cache. The full operand triple is stored and
   // compared — a hash-only key would make hash collisions return wrong
-  // results.
+  // results. XOR entries are tagged by h == kXorTag (never a valid ref).
   struct CacheEntry {
-    Ref f = ~Ref{0};
+    Ref f = kInvalidRef;
     Ref g = 0;
     Ref h = 0;
     Ref result = 0;
   };
 
+  static constexpr Ref kInvalidRef = ~Ref{0};
+  static constexpr Ref kXorTag = ~Ref{0} - 1;
+
   Ref MakeNode(std::uint32_t var, Ref lo, Ref hi);
   Ref IteRec(Ref f, Ref g, Ref h);
+  Ref XorRec(Ref f, Ref g);
+  bool CacheLookup(Ref f, Ref g, Ref h, Ref* result);
+  void CacheStore(Ref f, Ref g, Ref h, Ref result);
+  void GrowUniqueTable();
+  void GrowOpCache();
   Ref ExistsRec(Ref f, const std::vector<int>& vars,
                 std::unordered_map<Ref, Ref>& memo);
   Ref ComposeRec(Ref f, int var, Ref g, std::unordered_map<Ref, Ref>& memo);
   double SatFractionRec(Ref f, std::unordered_map<Ref, double>& memo) const;
 
   static std::uint64_t UniqueKey(std::uint32_t var, Ref lo, Ref hi);
-  static std::uint64_t CacheKey(Ref f, Ref g, Ref h);
 
   int num_vars_;
   std::size_t node_limit_;
+  std::size_t op_cache_max_;
   std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, Ref> unique_;
-  std::vector<CacheEntry> ite_cache_;
+
+  std::vector<UniqueSlot> unique_;
+  std::size_t unique_used_ = 0;
+
+  std::vector<CacheEntry> op_cache_;
+  // Node count at which the op cache next grows; SIZE_MAX once at max size.
+  std::size_t cache_grow_at_ = 0;
+
+  // Work counters (see BddStats).
+  std::size_t unique_lookups_ = 0;
+  std::size_t unique_probes_ = 0;
+  std::size_t unique_resizes_ = 0;
+  double peak_load_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  std::size_t ite_recursions_ = 0;
 };
 
 }  // namespace sm

@@ -1,0 +1,59 @@
+#include "harness/bench_runner.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace sm {
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      o.smoke = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      SM_REQUIRE(end != nullptr && *end == '\0' && !value.empty() && n >= 1 &&
+                     n <= 1024,
+                 "bad --threads value: " << value);
+      o.threads = static_cast<int>(n);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      o.json_path = arg.substr(7);
+      SM_REQUIRE(!o.json_path.empty(), "--json needs a path");
+    } else {
+      SM_REQUIRE(false, "unknown benchmark flag: "
+                            << arg
+                            << " (expected --threads=N, --json=PATH, --smoke)");
+    }
+  }
+  return o;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace sm

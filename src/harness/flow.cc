@@ -21,7 +21,8 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                MaskingCircuit{Network(""), {}, 0, 0, 0, 0, 0},
                ProtectedCircuit{MappedNetlist(""), {}, 0, 0, 0, 0},
                MaskingVerification{},
-               OverheadReport{}};
+               OverheadReport{},
+               BddStats{}};
   r.timing = AnalyzeTiming(r.original);
 
   // 2. SPCF over the mapped gates.
@@ -52,6 +53,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
   r.overheads.coverage_100 =
       r.verification.coverage && r.verification.coverage_fraction >= 1.0;
   r.overheads.safety = r.verification.safety;
+  r.bdd = r.mgr->Stats();
   return r;
 }
 

@@ -39,6 +39,9 @@ struct FlowResult {
   ProtectedCircuit protected_circuit;
   MaskingVerification verification;
   OverheadReport overheads;
+  // Kernel work counters of `mgr` across the whole flow (SPCF + masking
+  // synthesis + verification).
+  BddStats bdd;
 };
 
 // `lib` must outlive the result. Throws BddOverflowError when the circuit's

@@ -72,6 +72,7 @@ SpcfResult ComputeSpcf(TimedFunctionEngine& engine, const MappedNetlist& net,
       mgr.Log2SatCount(r.sigma_union, static_cast<int>(net.NumInputs()));
   r.runtime_seconds = timer.Seconds();
   r.expansions = engine.Expansions() - expansions_before;
+  r.bdd = mgr.Stats();
   return r;
 }
 

@@ -49,6 +49,10 @@ struct SpcfResult {
   // Work statistics for the Table 1 comparison.
   double runtime_seconds = 0;
   std::size_t expansions = 0;
+  // Snapshot of the BDD manager's cumulative kernel counters at the end of
+  // the SPCF computation (node count, unique-table probes, op-cache
+  // hits/misses, ITE recursions).
+  BddStats bdd;
 };
 
 // `engine` carries the memoization across calls (e.g. masking synthesis

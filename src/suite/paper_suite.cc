@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace sm {
 namespace {
@@ -68,11 +69,34 @@ std::vector<PaperCircuitInfo> BuildTable1() {
   return t;
 }
 
+// Keeps the circuits of `all` whose name appears in `names`, in table order.
+std::vector<PaperCircuitInfo> FilterByName(
+    std::vector<PaperCircuitInfo> all,
+    const std::vector<std::string>& names) {
+  std::vector<PaperCircuitInfo> out;
+  for (auto& c : all) {
+    if (std::find(names.begin(), names.end(), c.spec.name) != names.end()) {
+      out.push_back(std::move(c));
+    }
+  }
+  SM_CHECK(out.size() == names.size(), "smoke circuit missing from table");
+  return out;
+}
+
 }  // namespace
 
 std::vector<PaperCircuitInfo> Table2Circuits() { return BuildTable2(); }
 
 std::vector<PaperCircuitInfo> Table1Circuits() { return BuildTable1(); }
+
+std::vector<PaperCircuitInfo> Table1SmokeCircuits() {
+  // One dense-control and one sliced-control instance.
+  return FilterByName(BuildTable1(), {"C432", "sparc_ifu_invctl"});
+}
+
+std::vector<PaperCircuitInfo> Table2SmokeCircuits() {
+  return FilterByName(BuildTable2(), {"i1", "cmb", "x2", "cu"});
+}
 
 PaperCircuitInfo PaperCircuitByName(const std::string& name) {
   for (const auto& c : BuildTable2()) {
@@ -83,6 +107,25 @@ PaperCircuitInfo PaperCircuitByName(const std::string& name) {
   }
   SM_REQUIRE(false, "unknown paper circuit: " << name);
   SM_UNREACHABLE("unreachable");
+}
+
+std::vector<Network> GenerateCircuits(
+    const std::vector<PaperCircuitInfo>& infos, int threads) {
+  std::vector<Network> nets(infos.size(), Network(""));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      nets[i] = GenerateCircuit(infos[i].spec);
+    }
+    return nets;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, infos.size(), 1,
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       nets[i] = GenerateCircuit(infos[i].spec);
+                     }
+                   });
+  return nets;
 }
 
 }  // namespace sm

@@ -22,7 +22,18 @@ std::vector<PaperCircuitInfo> Table2Circuits();
 // I/O counts printed there.
 std::vector<PaperCircuitInfo> Table1Circuits();
 
+// Reduced circuit lists for CI smoke runs: small deterministic subsets of
+// the tables that exercise both generator profiles in seconds.
+std::vector<PaperCircuitInfo> Table1SmokeCircuits();
+std::vector<PaperCircuitInfo> Table2SmokeCircuits();
+
 // Looks a circuit up by name in either table; throws when unknown.
 PaperCircuitInfo PaperCircuitByName(const std::string& name);
+
+// Generates the networks for `infos` across `threads` pool workers.
+// Generation is deterministic per spec and every worker writes its own slot,
+// so the result is identical at any thread count, in `infos` order.
+std::vector<Network> GenerateCircuits(const std::vector<PaperCircuitInfo>& infos,
+                                      int threads);
 
 }  // namespace sm

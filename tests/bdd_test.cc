@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "bdd/bdd.h"
 #include "bdd/bdd_util.h"
@@ -185,6 +189,143 @@ TEST(Bdd, NodeLimitThrows) {
   } catch (const BddOverflowError&) {
     SUCCEED();
   }
+}
+
+// --- kernel-level tests: normalization, hashing, resize, overflow --------
+
+TEST(BddKernel, NormalizedCallsShareCacheSlots) {
+  BddManager mgr(12);
+  Ref f = mgr.Var(0);
+  for (int v = 2; v <= 8; v += 2) {
+    f = mgr.Or(f, mgr.And(mgr.Var(v), mgr.Var(v + 1)));
+  }
+  Ref g = mgr.Xor(mgr.Var(1), mgr.Var(5));
+  g = mgr.Or(g, mgr.And(mgr.Var(3), mgr.NotVar(7)));
+
+  // Commuted operands normalize to the identical cache triple: the repeat
+  // calls must produce the same Ref with zero new misses or recursions.
+  const Ref fg = mgr.And(f, g);
+  BddStats before = mgr.Stats();
+  EXPECT_EQ(mgr.And(g, f), fg);
+  // De Morgan dual via complement edges: also a pure cache hit.
+  EXPECT_EQ(mgr.Or(mgr.Not(f), mgr.Not(g)), mgr.Not(fg));
+  BddStats after = mgr.Stats();
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
+  EXPECT_EQ(after.ite_recursions, before.ite_recursions);
+  EXPECT_GT(after.cache_hits, before.cache_hits);
+
+  const Ref forg = mgr.Or(f, g);
+  before = mgr.Stats();
+  EXPECT_EQ(mgr.Or(g, f), forg);
+  EXPECT_EQ(mgr.And(mgr.Not(f), mgr.Not(g)), mgr.Not(forg));
+  after = mgr.Stats();
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
+  EXPECT_EQ(after.ite_recursions, before.ite_recursions);
+
+  // Xor strips complements entirely: all four polarities share one triple.
+  const Ref fxg = mgr.Xor(f, g);
+  before = mgr.Stats();
+  EXPECT_EQ(mgr.Xor(g, f), fxg);
+  EXPECT_EQ(mgr.Xor(mgr.Not(f), g), mgr.Not(fxg));
+  EXPECT_EQ(mgr.Xor(f, mgr.Not(g)), mgr.Not(fxg));
+  EXPECT_EQ(mgr.Xor(mgr.Not(f), mgr.Not(g)), fxg);
+  after = mgr.Stats();
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
+  EXPECT_EQ(after.ite_recursions, before.ite_recursions);
+}
+
+TEST(BddKernel, CacheKeyCollisionRate) {
+  // Regression for the old key, which mixed h twice with overlapping shifts
+  // and so collided frequently for triples differing only in h. The
+  // finalizer is bijective and the per-operand multipliers are odd, so
+  // h-only (and f-only) variations must give pairwise-distinct 64-bit keys.
+  std::vector<std::uint64_t> keys;
+  for (Ref h = 0; h < 4096; ++h) keys.push_back(BddManager::CacheKey(10, 20, h));
+  for (Ref f = 0; f < 4096; ++f) keys.push_back(BddManager::CacheKey(f, 7, 9));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+
+  // Statistical bound on slot collisions: 4096 varied triples masked into
+  // 2^16 slots should collide ~ n^2/2m = 128 times; allow a 3x margin.
+  std::vector<std::uint32_t> slots;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    slots.push_back(
+        static_cast<std::uint32_t>(
+            BddManager::CacheKey(i * 3 + 1, i * 5 + 2, i * 7 + 3)) &
+        0xFFFF);
+  }
+  std::sort(slots.begin(), slots.end());
+  std::size_t collisions = 0;
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i] == slots[i - 1]) ++collisions;
+  }
+  EXPECT_LT(collisions, 400u);
+}
+
+TEST(BddKernel, UniqueTableResizeKeepsFunctionsIntact) {
+  // A 128-variable parity chain interns ~8k nodes, pushing the pre-reserved
+  // table (8192 slots, resize at 70% load) through at least one doubling
+  // and the op cache through its growth ladder.
+  BddManager mgr(128);
+  Ref f = mgr.False();
+  for (int v = 0; v < 128; ++v) f = mgr.Xor(f, mgr.Var(v));
+  const BddStats s = mgr.Stats();
+  EXPECT_GE(s.unique_resizes, 1u);
+  EXPECT_GT(s.num_nodes, 5000u);
+  EXPECT_GT(s.cache_capacity, 4096u);
+  EXPECT_LT(s.load_factor, 0.7);
+  EXPECT_LE(s.peak_load_factor, 0.71);
+
+  // Functions survive the rehashes.
+  std::vector<bool> assign(128, true);
+  EXPECT_FALSE(mgr.Eval(f, assign));  // 128 ones: even parity
+  assign[5] = false;
+  EXPECT_TRUE(mgr.Eval(f, assign));
+  EXPECT_DOUBLE_EQ(mgr.SatFraction(f), 0.5);
+
+  // Interning stays canonical across resizes: rebuilding the same chain
+  // lands on the identical ref.
+  Ref f2 = mgr.False();
+  for (int v = 0; v < 128; ++v) f2 = mgr.Xor(f2, mgr.Var(v));
+  EXPECT_EQ(f2, f);
+}
+
+TEST(BddKernel, OverflowLeavesManagerUsable) {
+  BddManager mgr(24, /*node_limit=*/64);
+  const Ref a = mgr.Var(0);
+  const Ref b = mgr.Var(1);
+  const Ref ab = mgr.And(a, b);
+  try {
+    Ref f = mgr.True();
+    for (int v = 0; v < 24; ++v) {
+      f = mgr.Xor(f, mgr.And(mgr.Var(v), mgr.Var((v + 7) % 24)));
+    }
+    FAIL() << "expected BddOverflowError";
+  } catch (const BddOverflowError&) {
+  }
+  // The overflow is checked before any mutation: the node store respected
+  // the limit and earlier refs still behave correctly.
+  EXPECT_LE(mgr.Stats().num_nodes, 64u);
+  EXPECT_EQ(mgr.And(a, b), ab);
+  EXPECT_EQ(mgr.And(b, a), ab);
+  EXPECT_DOUBLE_EQ(mgr.SatFraction(ab), 0.25);
+  EXPECT_TRUE(mgr.Eval(ab, std::vector<bool>(24, true)));
+  EXPECT_EQ(mgr.Or(ab, mgr.Not(ab)), mgr.True());
+}
+
+TEST(BddKernel, OpCacheSizeConfigurable) {
+  BddManager small(16, 1'000'000, /*op_cache_log2=*/4);
+  EXPECT_EQ(small.Stats().cache_capacity, 16u);
+  Ref f = small.False();
+  for (int v = 0; v < 16; ++v) f = small.Xor(f, small.Var(v));
+  EXPECT_EQ(small.Stats().cache_capacity, 16u);  // capped at 2^4
+  EXPECT_DOUBLE_EQ(small.SatFraction(f), 0.5);
+
+  BddManager dflt(16);
+  EXPECT_EQ(dflt.Stats().cache_capacity, 4096u);  // starts at 2^12
+
+  EXPECT_THROW(BddManager(4, 100, 3), std::invalid_argument);
+  EXPECT_THROW(BddManager(4, 100, 29), std::invalid_argument);
 }
 
 TEST(BddUtil, SopAndCubeConversion) {
