@@ -9,11 +9,21 @@
 //       generate a named paper circuit and print stats / write BLIF.
 //   speedmask_cli list
 //       list the built-in paper circuits.
+//   speedmask_cli serve [--socket <path>] [--workers <n>]
+//       run the analysis daemon until a client sends `shutdown`.
+//   speedmask_cli submit <circuit> [--socket <path>] [--method spcf|flow|yield]
+//                  [--guard <frac>] [--algo node|path|short]
+//                  [--trials <n>] [--sigma <s>] [--seed <n>]
+//       send one request to a running daemon and print the result JSON.
+//   speedmask_cli stats [--socket <path>]
+//   speedmask_cli shutdown [--socket <path>]
+//       query daemon counters / drain and stop the daemon.
 //
 // <circuit> is either a name from `list` or a path to a BLIF file.
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +32,8 @@
 #include "map/netlist_io.h"
 #include "network/blif.h"
 #include "network/topo.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "suite/paper_suite.h"
 #include "util/strings.h"
 
@@ -156,12 +168,116 @@ int CmdFlow(std::vector<std::string> args) {
   return (o.safety && o.coverage_100) ? 0 : 1;
 }
 
+int CmdServe(std::vector<std::string> args) {
+  ServerOptions options;
+  options.socket_path =
+      GetFlag(args, "--socket").value_or(options.socket_path);
+  options.num_workers = static_cast<std::size_t>(std::stoul(
+      GetFlag(args, "--workers")
+          .value_or(std::to_string(options.num_workers))));
+  SpeedmaskServer server(options);
+  server.Start();
+  std::cerr << "speedmask daemon listening on " << server.socket_path()
+            << " (" << options.num_workers << " workers); send `speedmask_cli "
+            << "shutdown --socket " << server.socket_path() << "` to stop\n";
+  server.Wait();
+  const ServiceStatsSnapshot stats = server.SnapshotStats();
+  std::cerr << "daemon stopped after " << stats.requests_total << " requests ("
+            << stats.cache.hits << " cache hits)\n";
+  return 0;
+}
+
+int CmdSubmit(std::vector<std::string> args) {
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli submit <circuit> [--socket <path>] "
+                 "[--method spcf|flow|yield] [--guard <frac>] "
+                 "[--algo node|path|short] [--trials <n>] [--sigma <s>] "
+                 "[--seed <n>]\n";
+    return 2;
+  }
+  const std::string socket =
+      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+  const std::string method = GetFlag(args, "--method").value_or("spcf");
+  const std::string algo = GetFlag(args, "--algo").value_or("short");
+
+  ServiceRequest request;
+  if (method == "spcf") {
+    request.method = ServiceMethod::kAnalyzeSpcf;
+  } else if (method == "flow") {
+    request.method = ServiceMethod::kSynthesizeMasking;
+  } else if (method == "yield") {
+    request.method = ServiceMethod::kEstimateYield;
+  } else {
+    std::cerr << "unknown method: " << method << "\n";
+    return 2;
+  }
+  const std::string& spec = args[0];
+  if (spec.find('.') != std::string::npos ||
+      spec.find('/') != std::string::npos) {
+    std::ifstream f(spec);
+    if (!f) {
+      std::cerr << "cannot read " << spec << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    request.circuit_blif = text.str();
+  } else {
+    request.circuit_name = spec;
+  }
+  request.guard = std::stod(GetFlag(args, "--guard").value_or("0.1"));
+  if (algo == "node") {
+    request.algorithm = SpcfAlgorithm::kNodeBased;
+  } else if (algo == "path") {
+    request.algorithm = SpcfAlgorithm::kPathBasedExtension;
+  } else if (algo == "short") {
+    request.algorithm = SpcfAlgorithm::kShortPathBased;
+  } else {
+    std::cerr << "unknown algorithm: " << algo << "\n";
+    return 2;
+  }
+  request.trials = std::stoull(GetFlag(args, "--trials").value_or("2000"));
+  request.sigma = std::stod(GetFlag(args, "--sigma").value_or("0.05"));
+  request.seed = std::stoull(GetFlag(args, "--seed").value_or("2009"));
+
+  ServiceClient client(socket);
+  const ServiceResponse response = client.Call(std::move(request));
+  if (!response.ok()) {
+    std::cerr << response.status << ": " << response.error << "\n";
+    return 1;
+  }
+  std::cout << response.result_json << "\n";
+  return 0;
+}
+
+int CmdStats(std::vector<std::string> args) {
+  const std::string socket =
+      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+  ServiceClient client(socket);
+  std::cout << client.Stats().result_json << "\n";
+  return 0;
+}
+
+int CmdShutdown(std::vector<std::string> args) {
+  const std::string socket =
+      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+  ServiceClient client(socket);
+  const ServiceResponse response = client.Shutdown();
+  if (!response.ok()) {
+    std::cerr << response.status << ": " << response.error << "\n";
+    return 1;
+  }
+  std::cout << "daemon drained and stopped\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
-    std::cerr << "usage: speedmask_cli <list|gen|spcf|flow> ...\n";
+    std::cerr << "usage: speedmask_cli "
+                 "<list|gen|spcf|flow|serve|submit|stats|shutdown> ...\n";
     return 2;
   }
   const std::string cmd = args[0];
@@ -171,6 +287,10 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return CmdGen(std::move(args));
     if (cmd == "spcf") return CmdSpcf(std::move(args));
     if (cmd == "flow") return CmdFlow(std::move(args));
+    if (cmd == "serve") return CmdServe(std::move(args));
+    if (cmd == "submit") return CmdSubmit(std::move(args));
+    if (cmd == "stats") return CmdStats(std::move(args));
+    if (cmd == "shutdown") return CmdShutdown(std::move(args));
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

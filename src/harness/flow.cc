@@ -13,8 +13,19 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                  original.NumOutputs() == ti.NumOutputs(),
              "mapped circuit and technology-independent network must share "
              "the PI/PO interface");
-  FlowResult r{std::make_unique<BddManager>(static_cast<int>(ti.NumInputs()),
-                                            options.bdd_node_limit),
+  std::unique_ptr<BddManager> owned;
+  BddManager* mgr = options.reuse_manager;
+  if (mgr != nullptr) {
+    SM_REQUIRE(mgr->num_vars() == static_cast<int>(ti.NumInputs()),
+               "reuse_manager has " << mgr->num_vars()
+                                    << " variables but the circuit has "
+                                    << ti.NumInputs() << " inputs");
+  } else {
+    owned = std::make_unique<BddManager>(static_cast<int>(ti.NumInputs()),
+                                         options.bdd_node_limit);
+    mgr = owned.get();
+  }
+  FlowResult r{std::move(owned),
                original,
                TimingInfo{},
                SpcfResult{},
@@ -28,15 +39,15 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
   // 2. SPCF over the mapped gates.
   std::vector<GateId> groots;
   for (const auto& o : r.original.outputs()) groots.push_back(o.driver);
-  const auto mapped_globals = BuildMappedGlobalBdds(*r.mgr, r.original, groots);
-  TimedFunctionEngine engine(*r.mgr, r.original, mapped_globals);
+  const auto mapped_globals = BuildMappedGlobalBdds(*mgr, r.original, groots);
+  TimedFunctionEngine engine(*mgr, r.original, mapped_globals);
   r.spcf = ComputeSpcf(engine, r.original, r.timing, options.spcf);
 
   // 3. Masking synthesis over the technology-independent network.
   std::vector<NodeId> troots;
   for (const auto& o : ti.outputs()) troots.push_back(o.driver);
-  const auto ti_globals = BuildGlobalBdds(*r.mgr, ti, troots);
-  r.masking = SynthesizeMaskingNetwork(*r.mgr, ti, ti_globals, r.spcf,
+  const auto ti_globals = BuildGlobalBdds(*mgr, ti, troots);
+  r.masking = SynthesizeMaskingNetwork(*mgr, ti, ti_globals, r.spcf,
                                        options.synth);
 
   // 4. Delay-mode mapping + output muxes.
@@ -44,8 +55,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
       IntegrateMasking(r.original, r.masking, lib, options.integrate);
 
   // 5. Formal verification and Table-2 accounting.
-  r.verification =
-      VerifyMasking(*r.mgr, ti, ti_globals, r.masking, r.spcf);
+  r.verification = VerifyMasking(*mgr, ti, ti_globals, r.masking, r.spcf);
   r.overheads = ComputeOverheads(r.original, r.protected_circuit,
                                  options.power_seed, options.power_words);
   r.overheads.critical_minterms = r.spcf.critical_minterms;
@@ -53,7 +63,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
   r.overheads.coverage_100 =
       r.verification.coverage && r.verification.coverage_fraction >= 1.0;
   r.overheads.safety = r.verification.safety;
-  r.bdd = r.mgr->Stats();
+  r.bdd = mgr->Stats();
   return r;
 }
 

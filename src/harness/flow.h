@@ -25,11 +25,19 @@ struct FlowOptions {
   std::uint64_t power_seed = 12345;
   int power_words = 64;
   std::size_t bdd_node_limit = 8'000'000;
+  // Optional externally-owned manager to run the flow in; must have
+  // num_vars == the circuit's PI count and must outlive the FlowResult.
+  // When set, FlowResult.mgr stays null and every ref in the result lives in
+  // *reuse_manager — the analysis service uses this to keep a warm
+  // unique-table/op-cache across requests. Results are identical either way
+  // (interned nodes and caches change only the work done, never the BDDs).
+  BddManager* reuse_manager = nullptr;
 };
 
 struct FlowResult {
   // The manager owns every BDD ref below; it is listed first and destroyed
-  // last.
+  // last. Null when the flow ran inside FlowOptions::reuse_manager — the
+  // refs then belong to that external manager.
   std::unique_ptr<BddManager> mgr;
 
   MappedNetlist original;

@@ -1,0 +1,118 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "service/framing.h"
+#include "util/check.h"
+
+namespace sm {
+
+namespace {
+
+int ConnectOrNegative(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  fd_ = ConnectOrNegative(socket_path);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot connect to speedmask daemon at " +
+                             socket_path + ": " + std::strerror(errno));
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceResponse ServiceClient::Call(ServiceRequest request) {
+  if (request.id == 0) request.id = next_id_++;
+  WriteFrame(fd_, SerializeRequest(request));
+  std::optional<std::string> payload = ReadFrame(fd_);
+  if (!payload.has_value()) {
+    throw FrameError("daemon closed the connection without answering");
+  }
+  return ParseResponse(*payload);
+}
+
+ServiceResponse ServiceClient::AnalyzeSpcf(const std::string& circuit,
+                                           double guard,
+                                           SpcfAlgorithm algorithm,
+                                           bool is_blif) {
+  ServiceRequest r;
+  r.method = ServiceMethod::kAnalyzeSpcf;
+  (is_blif ? r.circuit_blif : r.circuit_name) = circuit;
+  r.guard = guard;
+  r.algorithm = algorithm;
+  return Call(std::move(r));
+}
+
+ServiceResponse ServiceClient::SynthesizeMasking(const std::string& circuit,
+                                                 double guard, bool is_blif) {
+  ServiceRequest r;
+  r.method = ServiceMethod::kSynthesizeMasking;
+  (is_blif ? r.circuit_blif : r.circuit_name) = circuit;
+  r.guard = guard;
+  return Call(std::move(r));
+}
+
+ServiceResponse ServiceClient::EstimateYield(const std::string& circuit,
+                                             double guard,
+                                             std::uint64_t trials,
+                                             double sigma, std::uint64_t seed,
+                                             bool is_blif) {
+  ServiceRequest r;
+  r.method = ServiceMethod::kEstimateYield;
+  (is_blif ? r.circuit_blif : r.circuit_name) = circuit;
+  r.guard = guard;
+  r.trials = trials;
+  r.sigma = sigma;
+  r.seed = seed;
+  return Call(std::move(r));
+}
+
+ServiceResponse ServiceClient::Stats() {
+  ServiceRequest r;
+  r.method = ServiceMethod::kStats;
+  return Call(std::move(r));
+}
+
+ServiceResponse ServiceClient::Shutdown() {
+  ServiceRequest r;
+  r.method = ServiceMethod::kShutdown;
+  return Call(std::move(r));
+}
+
+bool WaitForServer(const std::string& socket_path, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    const int fd = ConnectOrNegative(socket_path);
+    if (fd >= 0) {
+      ::close(fd);
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace sm

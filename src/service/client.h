@@ -1,0 +1,59 @@
+// Blocking client for the speedmask analysis daemon.
+//
+// One ServiceClient owns one Unix-socket connection and issues one request
+// at a time (Call blocks until the matching response frame arrives — the
+// daemon answers cache hits and backpressure rejections out of order with
+// respect to *other* connections, but each connection's own replies come
+// back in request order for the methods this client issues serially).
+// Convenience wrappers fill in protocol defaults; request ids increment per
+// client unless the caller sets one explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace sm {
+
+class ServiceClient {
+ public:
+  // Connects immediately; throws std::runtime_error when the daemon is not
+  // reachable at `socket_path`.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  // Sends `request` (assigning the next id when request.id == 0) and blocks
+  // for the response. Throws FrameError/ParseError on transport or protocol
+  // corruption; service-level failures come back as response.status.
+  ServiceResponse Call(ServiceRequest request);
+
+  // Convenience wrappers. `circuit` is a built-in paper-circuit name unless
+  // `is_blif` is set, in which case it is inline BLIF text.
+  ServiceResponse AnalyzeSpcf(const std::string& circuit, double guard = 0.1,
+                              SpcfAlgorithm algorithm =
+                                  SpcfAlgorithm::kShortPathBased,
+                              bool is_blif = false);
+  ServiceResponse SynthesizeMasking(const std::string& circuit,
+                                    double guard = 0.1, bool is_blif = false);
+  ServiceResponse EstimateYield(const std::string& circuit, double guard,
+                                std::uint64_t trials, double sigma,
+                                std::uint64_t seed = 2009,
+                                bool is_blif = false);
+  ServiceResponse Stats();
+  // Returns once the daemon has drained all accepted work and acknowledged.
+  ServiceResponse Shutdown();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+// Polls connect() until the daemon answers or `timeout_seconds` elapses.
+// Returns false on timeout — used by tools that fork the daemon.
+bool WaitForServer(const std::string& socket_path, double timeout_seconds);
+
+}  // namespace sm

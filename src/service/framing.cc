@@ -1,0 +1,115 @@
+#include "service/framing.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sm {
+
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>((v >> 24) & 0xff);
+  out += static_cast<char>((v >> 16) & 0xff);
+  out += static_cast<char>((v >> 8) & 0xff);
+  out += static_cast<char>(v & 0xff);
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  SM_REQUIRE(payload.size() <= ~std::uint32_t{0},
+             "frame payload too large: " << payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(out, kFrameMagic);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::size_t DecodeFrame(std::string_view buffer, std::size_t max_payload,
+                        std::string* payload) {
+  if (buffer.size() < kFrameHeaderBytes) return 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer.data());
+  const std::uint32_t magic = GetU32(p);
+  if (magic != kFrameMagic) {
+    throw FrameError("bad frame magic (not a speedmask service peer)");
+  }
+  const std::uint32_t length = GetU32(p + 4);
+  if (length > max_payload) {
+    throw FrameError("frame payload of " + std::to_string(length) +
+                     " bytes exceeds the " + std::to_string(max_payload) +
+                     "-byte limit");
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) return 0;
+  payload->assign(buffer.data() + kFrameHeaderBytes, length);
+  return kFrameHeaderBytes + length;
+}
+
+void WriteFrame(int fd, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw FrameError(std::string("frame write failed: ") +
+                       std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+// Reads exactly `n` bytes. Returns false on EOF before the first byte;
+// throws on EOF after a partial read or on a transport error.
+bool ReadExact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw FrameError(std::string("frame read failed: ") +
+                       std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw FrameError("connection closed mid-frame after " +
+                       std::to_string(got) + " bytes");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> ReadFrame(int fd, std::size_t max_payload) {
+  char header[kFrameHeaderBytes];
+  if (!ReadExact(fd, header, kFrameHeaderBytes)) return std::nullopt;
+  const auto* p = reinterpret_cast<const unsigned char*>(header);
+  if (GetU32(p) != kFrameMagic) {
+    throw FrameError("bad frame magic (not a speedmask service peer)");
+  }
+  const std::uint32_t length = GetU32(p + 4);
+  if (length > max_payload) {
+    throw FrameError("frame payload of " + std::to_string(length) +
+                     " bytes exceeds the " + std::to_string(max_payload) +
+                     "-byte limit");
+  }
+  std::string payload(length, '\0');
+  if (length > 0 && !ReadExact(fd, payload.data(), length)) {
+    throw FrameError("connection closed before frame payload");
+  }
+  return payload;
+}
+
+}  // namespace sm

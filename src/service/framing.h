@@ -1,0 +1,56 @@
+// Length-prefixed framing for the analysis-service socket protocol.
+//
+// Every frame is an 8-byte header followed by the payload:
+//
+//   bytes 0..3   magic 0x53 0x4d 0x31 0x46 ("SM1F"), big-endian
+//   bytes 4..7   payload length in bytes, big-endian
+//   bytes 8..    payload (UTF-8 JSON text)
+//
+// The magic makes garbage on the socket (an HTTP probe, a stray newline, a
+// desynchronized peer) a typed FrameError instead of a multi-gigabyte
+// "length"; the explicit length bound rejects oversized frames before any
+// allocation. Pure in-memory encode/decode plus blocking fd variants that
+// handle partial reads/writes — both work on any byte stream (Unix sockets,
+// socketpairs, pipes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace sm {
+
+inline constexpr std::uint32_t kFrameMagic = 0x534d3146;  // "SM1F"
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+inline constexpr std::size_t kDefaultMaxFramePayload = 16u << 20;
+
+// Malformed traffic (bad magic, oversized declared length, EOF inside a
+// frame) and transport failures surface as FrameError.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Header + payload as one contiguous buffer.
+std::string EncodeFrame(std::string_view payload);
+
+// Attempts to decode one frame from the front of `buffer`. Returns the
+// number of bytes consumed and fills *payload; returns 0 when the buffer
+// holds only an incomplete prefix (read more and retry). Throws FrameError
+// on a bad magic or a declared length above `max_payload`.
+std::size_t DecodeFrame(std::string_view buffer, std::size_t max_payload,
+                        std::string* payload);
+
+// Blocking write of one frame; throws FrameError on transport failure.
+void WriteFrame(int fd, std::string_view payload);
+
+// Blocking read of one frame. Returns nullopt on a clean EOF at a frame
+// boundary (the peer closed between frames); throws FrameError on garbage,
+// oversize, mid-frame EOF or a transport error.
+std::optional<std::string> ReadFrame(
+    int fd, std::size_t max_payload = kDefaultMaxFramePayload);
+
+}  // namespace sm

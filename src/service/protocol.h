@@ -1,0 +1,112 @@
+// Wire protocol of the speedmask analysis service.
+//
+// Requests and responses are JSON payloads inside SM1F frames (framing.h).
+//
+//   request  := {"id": u64, "method": M, ...params}
+//   M        := "analyze_spcf" | "synthesize_masking" | "estimate_yield"
+//             | "stats" | "shutdown"
+//   response := {"id": u64, "status": S, "result": {...}} on success,
+//               {"id": u64, "status": S, "error": "..."} otherwise
+//   S        := "ok" | "error" | "overloaded" | "timeout" | "shutting_down"
+//
+// Analysis params: the circuit is either "circuit_name" (a built-in paper
+// circuit) or "circuit_blif" (inline BLIF text), plus "guard" and, per
+// method, "algorithm" (analyze_spcf) or "trials"/"sigma"/"seed"
+// (estimate_yield). "deadline_ms" bounds queue wait + compute; an expired
+// request answers with status "timeout" instead of stale work.
+//
+// Determinism contract: the "result" object contains only semantic values
+// (never wall-clock times or BDD work counters, which vary with worker
+// cache warmth), and Json::Dump is canonical — so one request has exactly
+// one result byte string, whether it was computed cold, computed by a warm
+// worker, or replayed from the content-addressed cache. The Encode*Result
+// helpers below are that single source of result bytes; the end-to-end
+// tests call them directly against a plain harness/flow run and compare
+// with daemon output byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/flow.h"
+#include "network/network.h"
+#include "variation/monte_carlo.h"
+
+namespace sm {
+
+enum class ServiceMethod : std::uint8_t {
+  kAnalyzeSpcf,
+  kSynthesizeMasking,
+  kEstimateYield,
+  kStats,
+  kShutdown,
+};
+
+inline constexpr int kNumServiceMethods = 5;
+
+const char* ToString(ServiceMethod method);
+ServiceMethod ServiceMethodFromString(const std::string& name);
+
+struct ServiceRequest {
+  std::uint64_t id = 0;
+  ServiceMethod method = ServiceMethod::kStats;
+  // Exactly one of the two is set for analysis methods.
+  std::string circuit_name;
+  std::string circuit_blif;
+  double guard = 0.1;
+  SpcfAlgorithm algorithm = SpcfAlgorithm::kShortPathBased;
+  // estimate_yield only.
+  std::uint64_t trials = 2000;
+  double sigma = 0.05;
+  std::uint64_t seed = 2009;
+  // 0 = no deadline.
+  double deadline_ms = 0;
+
+  bool IsAnalysis() const {
+    return method == ServiceMethod::kAnalyzeSpcf ||
+           method == ServiceMethod::kSynthesizeMasking ||
+           method == ServiceMethod::kEstimateYield;
+  }
+};
+
+std::string SerializeRequest(const ServiceRequest& request);
+// Throws ParseError (util/check.h) on malformed or non-object payloads,
+// unknown methods, or an analysis request without a circuit.
+ServiceRequest ParseRequest(const std::string& payload);
+
+struct ServiceResponse {
+  std::uint64_t id = 0;
+  std::string status;       // see file comment
+  std::string result_json;  // serialized result object; empty unless ok
+  std::string error;        // human-readable; empty when ok
+
+  bool ok() const { return status == "ok"; }
+};
+
+std::string SerializeResponse(const ServiceResponse& response);
+ServiceResponse ParseResponse(const std::string& payload);
+
+// Instantiates the request's circuit (built-in name or inline BLIF).
+Network ResolveCircuit(const ServiceRequest& request);
+
+// Content-addressed cache key: canonical network hash (util/hash.h)
+// combined with every request parameter the result depends on. Two requests
+// for the same analysis of the same *structure* collide on purpose — that
+// is the cache hit. Identity is structural, not functional: a named circuit
+// and BLIF text collide exactly when the BLIF parses to the identical
+// network (the hash ignores representation accidents like node insertion
+// order, but a restructured-yet-equivalent netlist is a different key,
+// because gate counts, delays and overheads legitimately differ).
+std::uint64_t RequestCacheKey(const ServiceRequest& request,
+                              const Network& circuit);
+
+// Canonical result encoders (see determinism contract above). `mgr` is the
+// manager holding the SPCF refs, used for per-output pattern counting.
+std::string EncodeSpcfResult(const std::string& circuit, BddManager& mgr,
+                             const MappedNetlist& net, const TimingInfo& timing,
+                             const SpcfResult& spcf);
+std::string EncodeFlowResult(const FlowResult& flow);
+std::string EncodeYieldResult(const FlowResult& flow,
+                              const YieldMcResult& yield);
+
+}  // namespace sm

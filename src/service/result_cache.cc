@@ -1,0 +1,61 @@
+#include "service/result_cache.h"
+
+namespace sm {
+
+ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+std::optional<std::string> ResultCache::Get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(std::uint64_t key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_entries_ == 0 || value.size() > max_bytes_) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same key, same content-addressed computation — refresh recency only,
+    // but tolerate a changed value (Put wins) for robustness.
+    bytes_ -= it->second->second.size();
+    bytes_ += value.size();
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  bytes_ += value.size();
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  EvictIfNeeded();
+}
+
+void ResultCache::EvictIfNeeded() {
+  while (!lru_.empty() &&
+         (lru_.size() > max_entries_ || bytes_ > max_bytes_)) {
+    const auto& victim = lru_.back();
+    bytes_ -= victim.second.size();
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::SnapshotStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace sm

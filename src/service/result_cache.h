@@ -1,0 +1,64 @@
+// Content-addressed LRU cache of serialized analysis results.
+//
+// Keys are the 64-bit canonical request digests of protocol.h; values are
+// the exact result-JSON byte strings the cold computation produced, so a
+// hit replays a response bit-for-bit without touching a worker. Bounded by
+// entry count and total payload bytes — whichever limit is hit first evicts
+// from the least-recently-used end. Thread-safe; Get counts a hit/miss and
+// refreshes recency.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace sm {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;  // sum of cached value sizes
+  };
+
+  // `max_entries` == 0 disables caching (every Get is a miss, Put is a
+  // no-op). `max_bytes` bounds the summed value sizes.
+  explicit ResultCache(std::size_t max_entries,
+                       std::size_t max_bytes = 64u << 20);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached value and refreshes its recency; nullopt on miss.
+  std::optional<std::string> Get(std::uint64_t key);
+
+  // Inserts or refreshes `key`. A value larger than max_bytes is not cached
+  // (it would immediately evict everything else for a single entry).
+  void Put(std::uint64_t key, std::string value);
+
+  Stats SnapshotStats() const;
+
+ private:
+  void EvictIfNeeded();  // caller holds mutex_
+
+  const std::size_t max_entries_;
+  const std::size_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  // Front = most recently used.
+  std::list<std::pair<std::uint64_t, std::string>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sm

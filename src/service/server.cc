@@ -1,0 +1,535 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "bdd/bdd.h"
+#include "harness/yield.h"
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "service/framing.h"
+#include "service/json.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+#include "util/check.h"
+
+namespace sm {
+
+// One accepted client connection. The reader thread and any worker finishing
+// a job for this client share the fd; write_mutex serializes whole frames.
+struct SpeedmaskServer::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Wakes a blocked reader with EOF without invalidating the fd for
+  // writers that still hold a shared_ptr.
+  void ForceClose() { ::shutdown(fd, SHUT_RDWR); }
+
+  const int fd;
+  std::mutex write_mutex;
+};
+
+// Per-worker persistent state: warm BddManagers keyed by variable count.
+// Only one job uses a context at a time (contexts are checked out of a free
+// list), so no locking is needed inside.
+struct SpeedmaskServer::WorkerContext {
+  BddManager& ManagerFor(int num_vars, const ServerOptions& options,
+                         std::atomic<std::uint64_t>& resets) {
+    auto it = managers.find(num_vars);
+    if (it != managers.end() &&
+        it->second->NumNodes() > options.manager_reset_nodes) {
+      managers.erase(it);
+      it = managers.end();
+      resets.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (it == managers.end()) {
+      // Bound the number of distinct widths a worker keeps warm.
+      if (managers.size() >= 8) {
+        managers.clear();
+        resets.fetch_add(1, std::memory_order_relaxed);
+      }
+      it = managers
+               .emplace(num_vars, std::make_unique<BddManager>(
+                                      num_vars, options.bdd_node_limit))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void DropManager(int num_vars) { managers.erase(num_vars); }
+
+  std::size_t TotalNodes() const {
+    std::size_t total = 0;
+    for (const auto& [vars, mgr] : managers) total += mgr->NumNodes();
+    return total;
+  }
+
+  std::map<int, std::unique_ptr<BddManager>> managers;
+  // Published after every job so stats can read without racing the worker.
+  std::atomic<std::size_t> published_nodes{0};
+};
+
+SpeedmaskServer::SpeedmaskServer(ServerOptions options)
+    : options_(std::move(options)),
+      library_(Lsi10kLike()),
+      cache_(options_.cache_entries, options_.cache_bytes),
+      latency_ring_(8192, 0.0) {
+  SM_REQUIRE(options_.num_workers >= 1 && options_.num_workers <= 256,
+             "num_workers out of range: " << options_.num_workers);
+  SM_REQUIRE(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+}
+
+SpeedmaskServer::~SpeedmaskServer() {
+  try {
+    Shutdown();
+    Wait();
+  } catch (...) {
+    // Destructors must not throw; the process is going down anyway.
+  }
+}
+
+void SpeedmaskServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    SM_REQUIRE(!started_, "server already started");
+    started_ = true;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SM_REQUIRE(options_.socket_path.size() < sizeof(addr.sun_path),
+             "socket path too long: " << options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(" + options_.socket_path +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("listen(): ") + std::strerror(err));
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    worker_contexts_.push_back(std::make_unique<WorkerContext>());
+    free_workers_.push_back(worker_contexts_.back().get());
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void SpeedmaskServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down: server is stopping
+    }
+    if (draining_.load()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    std::erase_if(connections_, [](const std::weak_ptr<Connection>& w) {
+      return w.expired();
+    });
+    connections_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { HandleConnection(conn); });
+  }
+}
+
+void SpeedmaskServer::HandleConnection(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::optional<std::string> payload;
+    try {
+      payload = ReadFrame(conn->fd, options_.max_frame_bytes);
+    } catch (const FrameError& e) {
+      // Garbage or oversized framing: the byte stream cannot be resynced.
+      // Best-effort error reply, then drop the connection.
+      try {
+        SendResponse(conn, ServiceResponse{0, "error", "", e.what()});
+      } catch (...) {
+      }
+      break;
+    }
+    if (!payload.has_value()) break;  // clean EOF
+    try {
+      HandleRequest(conn, *payload);
+    } catch (const FrameError&) {
+      break;  // reply write failed: peer is gone
+    }
+    if (IsStopped()) break;
+  }
+}
+
+bool SpeedmaskServer::IsStopped() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stopped_;
+}
+
+void SpeedmaskServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                    const std::string& payload) {
+  WallTimer received;
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+
+  ServiceRequest request;
+  try {
+    request = ParseRequest(payload);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(conn, ServiceResponse{0, "error", "", e.what()});
+    return;
+  }
+  by_method_[static_cast<int>(request.method)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  if (request.method == ServiceMethod::kStats) {
+    const ServiceStatsSnapshot stats = SnapshotStats();
+    SendResponse(conn,
+                 ServiceResponse{request.id, "ok", stats.ToResultJson(), ""});
+    return;
+  }
+  if (request.method == ServiceMethod::kShutdown) {
+    Shutdown();  // returns once every accepted request has completed
+    SendResponse(conn, ServiceResponse{request.id, "ok", "", ""});
+    CloseAllConnections();
+    return;
+  }
+
+  if (draining_.load()) {
+    rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(conn, ServiceResponse{request.id, "shutting_down", "",
+                                       "daemon is draining"});
+    return;
+  }
+
+  // Resolve + hash on the connection thread: cache hits then bypass the
+  // queue entirely and cost no worker time.
+  Network circuit("");
+  std::uint64_t key = 0;
+  try {
+    circuit = ResolveCircuit(request);
+    key = RequestCacheKey(request, circuit);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(conn, ServiceResponse{request.id, "error", "", e.what()});
+    return;
+  }
+  if (std::optional<std::string> hit = cache_.Get(key)) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(conn, ServiceResponse{request.id, "ok", *hit, ""});
+    RecordLatency(received.Millis());
+    return;
+  }
+
+  // Admission control: bounded outstanding work, explicit overload reply.
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    if (pending_ >= options_.queue_capacity || draining_.load()) {
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(conn,
+                   ServiceResponse{request.id, "overloaded", "",
+                                   "queue full (" +
+                                       std::to_string(options_.queue_capacity) +
+                                       " outstanding requests)"});
+      return;
+    }
+    ++pending_;
+  }
+
+  const double deadline_ms = request.deadline_ms;
+  pool_->Submit([this, conn, request = std::move(request),
+                 circuit = std::move(circuit), key, deadline_ms,
+                 received]() mutable {
+    RunAnalysis(std::move(conn), std::move(request), std::move(circuit), key,
+                deadline_ms, received);
+  });
+}
+
+void SpeedmaskServer::RunAnalysis(std::shared_ptr<Connection> conn,
+                                  ServiceRequest request, Network circuit,
+                                  std::uint64_t key, double deadline_ms,
+                                  WallTimer received) {
+  ServiceResponse response{request.id, "", "", ""};
+  if (deadline_ms > 0 && received.Millis() > deadline_ms) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    response.status = "timeout";
+    response.error = "deadline of " + JsonNumberToString(deadline_ms) +
+                     " ms expired in queue";
+  } else {
+    WorkerContext* ctx = AcquireWorker();
+    try {
+      response.result_json = ComputeResult(*ctx, request, circuit);
+      response.status = "ok";
+    } catch (const BddOverflowError& e) {
+      // The manager hit its node limit; drop it so the next request for
+      // this width starts from a clean table instead of a full one.
+      ctx->DropManager(static_cast<int>(circuit.NumInputs()));
+      response.status = "error";
+      response.error = e.what();
+    } catch (const std::exception& e) {
+      response.status = "error";
+      response.error = e.what();
+    }
+    ctx->published_nodes.store(ctx->TotalNodes(), std::memory_order_relaxed);
+    ReleaseWorker(ctx);
+    if (response.ok()) {
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      cache_.Put(key, response.result_json);
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  try {
+    SendResponse(conn, response);
+  } catch (const FrameError&) {
+    // Client vanished before its answer; the work still warmed the cache.
+  }
+  RecordLatency(received.Millis());
+  FinishRequest();
+}
+
+std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
+                                           const ServiceRequest& request,
+                                           const Network& circuit) {
+  switch (request.method) {
+    case ServiceMethod::kAnalyzeSpcf: {
+      const TechMapResult mapped = DecomposeAndMap(circuit, library_);
+      const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+      BddManager& mgr = ctx.ManagerFor(
+          static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
+      SpcfOptions spcf_options;
+      spcf_options.algorithm = request.algorithm;
+      spcf_options.guard_band = request.guard;
+      const SpcfResult spcf =
+          ComputeSpcf(mgr, mapped.netlist, timing, spcf_options);
+      return EncodeSpcfResult(circuit.name(), mgr, mapped.netlist, timing,
+                              spcf);
+    }
+    case ServiceMethod::kSynthesizeMasking:
+    case ServiceMethod::kEstimateYield: {
+      FlowOptions flow_options;
+      flow_options.spcf.guard_band = request.guard;
+      flow_options.reuse_manager = &ctx.ManagerFor(
+          static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
+      const FlowResult flow = RunMaskingFlow(circuit, library_, flow_options);
+      if (request.method == ServiceMethod::kSynthesizeMasking) {
+        return EncodeFlowResult(flow);
+      }
+      YieldMcOptions yield_options;
+      yield_options.trials = request.trials;
+      yield_options.threads = 1;  // workers are already the parallel axis
+      yield_options.seed = request.seed;
+      yield_options.model.sigma = request.sigma;
+      yield_options.guard_band = request.guard;
+      const YieldMcResult yield = EstimateTimingYield(flow, yield_options);
+      return EncodeYieldResult(flow, yield);
+    }
+    case ServiceMethod::kStats:
+    case ServiceMethod::kShutdown:
+      break;
+  }
+  SM_UNREACHABLE("non-analysis method in ComputeResult");
+}
+
+SpeedmaskServer::WorkerContext* SpeedmaskServer::AcquireWorker() {
+  std::unique_lock<std::mutex> lock(worker_mutex_);
+  worker_cv_.wait(lock, [this] { return !free_workers_.empty(); });
+  WorkerContext* ctx = free_workers_.back();
+  free_workers_.pop_back();
+  return ctx;
+}
+
+void SpeedmaskServer::ReleaseWorker(WorkerContext* ctx) {
+  {
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    free_workers_.push_back(ctx);
+  }
+  worker_cv_.notify_one();
+}
+
+void SpeedmaskServer::SendResponse(const std::shared_ptr<Connection>& conn,
+                                   const ServiceResponse& response) {
+  const std::string payload = SerializeResponse(response);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  try {
+    WriteFrame(conn->fd, payload);
+  } catch (const FrameError&) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+void SpeedmaskServer::FinishRequest() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    SM_CHECK(pending_ > 0, "pending underflow");
+    --pending_;
+  }
+  drain_cv_.notify_all();
+}
+
+void SpeedmaskServer::RecordLatency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  ++latency_count_;
+}
+
+void SpeedmaskServer::Shutdown() {
+  bool expected = false;
+  if (draining_.compare_exchange_strong(expected, true)) {
+    StopListening();
+  }
+  // Drain: every admitted request completes and is answered.
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopped_ = true;
+  }
+  state_cv_.notify_all();
+}
+
+void SpeedmaskServer::StopListening() {
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // wakes the accept loop
+  }
+}
+
+void SpeedmaskServer::CloseAllConnections() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (const auto& weak : connections_) {
+    if (auto conn = weak.lock()) conn->ForceClose();
+  }
+}
+
+void SpeedmaskServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (!started_) return;
+    state_cv_.wait(lock, [this] { return stopped_; });
+    if (joined_) return;
+    joined_ = true;
+  }
+  CloseAllConnections();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connection threads can start now (accept loop is gone); join the
+  // existing ones. Their blocked reads were woken by ForceClose above.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  pool_.reset();  // drains (nothing pending) and joins the workers
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+ServiceStatsSnapshot SpeedmaskServer::SnapshotStats() {
+  ServiceStatsSnapshot s;
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumServiceMethods; ++i) {
+    s.by_method[i] = by_method_[i].load(std::memory_order_relaxed);
+  }
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.rejected_shutting_down =
+      rejected_shutting_down_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  s.cache = cache_.SnapshotStats();
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    s.queue_depth = pending_;
+  }
+  s.queue_capacity = options_.queue_capacity;
+  s.workers = options_.num_workers;
+  s.manager_resets = manager_resets_.load(std::memory_order_relaxed);
+  for (const auto& ctx : worker_contexts_) {
+    s.manager_nodes += ctx->published_nodes.load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    s.latency_samples = latency_count_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(latency_count_, latency_ring_.size()));
+    if (n > 0) {
+      std::vector<double> sorted(latency_ring_.begin(),
+                                 latency_ring_.begin() + n);
+      std::sort(sorted.begin(), sorted.end());
+      s.p50_ms = sorted[(n - 1) / 2];
+      s.p99_ms = sorted[(n - 1) * 99 / 100];
+    }
+  }
+  s.uptime_seconds = uptime_.Seconds();
+  return s;
+}
+
+std::string ServiceStatsSnapshot::ToResultJson() const {
+  Json obj = Json::MakeObject();
+  obj.Set("requests_total", requests_total);
+  Json methods = Json::MakeObject();
+  for (int i = 0; i < kNumServiceMethods; ++i) {
+    methods.Set(ToString(static_cast<ServiceMethod>(i)), by_method[i]);
+  }
+  obj.Set("requests_by_method", std::move(methods));
+  obj.Set("ok", ok);
+  obj.Set("errors", errors);
+  obj.Set("overloaded", overloaded);
+  obj.Set("timeouts", timeouts);
+  obj.Set("rejected_shutting_down", rejected_shutting_down);
+  obj.Set("write_failures", write_failures);
+  Json cache_obj = Json::MakeObject();
+  cache_obj.Set("hits", cache.hits);
+  cache_obj.Set("misses", cache.misses);
+  cache_obj.Set("evictions", cache.evictions);
+  cache_obj.Set("entries", cache.entries);
+  cache_obj.Set("bytes", cache.bytes);
+  obj.Set("cache", std::move(cache_obj));
+  obj.Set("queue_depth", queue_depth);
+  obj.Set("queue_capacity", queue_capacity);
+  obj.Set("workers", workers);
+  obj.Set("manager_resets", manager_resets);
+  obj.Set("manager_nodes", manager_nodes);
+  Json latency = Json::MakeObject();
+  latency.Set("p50_ms", p50_ms);
+  latency.Set("p99_ms", p99_ms);
+  latency.Set("samples", latency_samples);
+  obj.Set("latency", std::move(latency));
+  obj.Set("uptime_seconds", uptime_seconds);
+  return obj.Dump();
+}
+
+}  // namespace sm

@@ -1,0 +1,102 @@
+#include "util/hash.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "network/network.h"
+#include "util/check.h"
+
+namespace sm {
+
+std::uint64_t HashMix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  // boost::hash_combine's shape with a full-avalanche per-word mix.
+  return seed ^ (HashMix64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                 (seed >> 2));
+}
+
+std::uint64_t HashDouble(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+void Hasher::AddBytes(std::string_view bytes) {
+  Add(bytes.size());
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (unsigned char c : bytes) {
+    word |= std::uint64_t{c} << (8 * filled);
+    if (++filled == 8) {
+      Add(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) Add(word);
+}
+
+namespace {
+
+// Order-independent multiset hash of a node's cubes: XOR of mixed per-cube
+// words plus the count, so permuting the cover leaves the digest unchanged
+// while adding/removing/duplicating a cube does not.
+std::uint64_t HashSop(const Sop& f) {
+  std::uint64_t acc = 0;
+  for (const Cube& c : f.cubes()) {
+    acc ^= HashMix64((std::uint64_t{c.pos()} << 32) | c.neg());
+  }
+  Hasher h;
+  h.Add(static_cast<std::uint64_t>(f.num_vars()));
+  h.Add(f.NumCubes());
+  h.Add(acc);
+  return h.Digest();
+}
+
+}  // namespace
+
+std::uint64_t HashNetwork(const Network& net) {
+  // Bottom-up structural hashes: a node's digest is a function of its kind
+  // and its fanins' digests, never of its NodeId, so two insertion orders of
+  // the same DAG agree. Constructive insertion guarantees fanins precede
+  // their fanouts in id order, making one forward pass sufficient.
+  const std::size_t n = net.NumNodes();
+  std::vector<std::uint64_t> digest(n, 0);
+  std::size_t input_position = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    Hasher h;
+    if (net.kind(id) == NodeKind::kInput) {
+      h.Add(0x1157u);  // input tag
+      h.Add(input_position++);  // PI order defines BDD variable order
+    } else {
+      h.Add(0x10916u);  // logic tag
+      const auto& fanins = net.fanins(id);
+      h.Add(fanins.size());
+      for (NodeId fanin : fanins) {
+        SM_CHECK(fanin < id, "fanin id precedes node id");
+        h.Add(digest[fanin]);
+      }
+      h.Add(HashSop(net.function(id)));
+    }
+    digest[id] = h.Digest();
+  }
+
+  Hasher h;
+  h.AddBytes(net.name());
+  h.Add(net.NumInputs());
+  h.Add(net.outputs().size());
+  for (const auto& output : net.outputs()) {
+    h.AddBytes(output.name);
+    h.Add(digest[output.driver]);
+  }
+  return h.Digest();
+}
+
+}  // namespace sm

@@ -1,0 +1,50 @@
+// Stable 64-bit content hashing for the analysis service's
+// content-addressed result cache.
+//
+// Hasher is a streaming mix over 64-bit words (murmur3 fmix64 per word,
+// order-sensitive combine); its output depends only on the fed values, never
+// on pointer values, container addresses or platform, so a digest computed
+// by one process matches any other build of the same code.
+//
+// HashNetwork produces a canonical fingerprint of a technology-independent
+// network: it is invariant under node insertion order and under cube order
+// inside a node's SOP cover (both are representation accidents), but changes
+// with anything an analysis result can depend on — the PI order, each node's
+// function over its ordered fanins, the PO order and PO names, and the
+// network name (which analysis reports echo). Internal node names are
+// deliberately excluded: no service response depends on them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sm {
+
+class Network;
+
+// murmur3 64-bit finalizer: a cheap full-avalanche mix.
+std::uint64_t HashMix64(std::uint64_t x);
+
+// Order-sensitive combine of a running digest with one more word.
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value);
+
+// Bit pattern of a double as a word (so 0.1 hashes identically everywhere;
+// note -0.0 and +0.0 hash differently — callers normalize if they care).
+std::uint64_t HashDouble(double value);
+
+class Hasher {
+ public:
+  void Add(std::uint64_t value) { state_ = HashCombine(state_, value); }
+  void AddDouble(double value) { Add(HashDouble(value)); }
+  void AddBytes(std::string_view bytes);
+
+  std::uint64_t Digest() const { return HashMix64(state_); }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;  // arbitrary non-zero seed
+};
+
+// Canonical content hash of a network (see file comment for what it covers).
+std::uint64_t HashNetwork(const Network& net);
+
+}  // namespace sm

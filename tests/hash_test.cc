@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "boolean/cube.h"
+#include "boolean/sop.h"
+#include "network/blif.h"
+#include "network/network.h"
+#include "network/structural.h"
+#include "suite/paper_suite.h"
+#include "util/hash.h"
+
+namespace sm {
+namespace {
+
+TEST(Hasher, DeterministicAndOrderSensitive) {
+  Hasher a;
+  a.Add(1);
+  a.Add(2);
+  Hasher b;
+  b.Add(1);
+  b.Add(2);
+  EXPECT_EQ(a.Digest(), b.Digest());
+
+  Hasher c;
+  c.Add(2);
+  c.Add(1);
+  EXPECT_NE(a.Digest(), c.Digest());
+
+  Hasher empty;
+  EXPECT_NE(a.Digest(), empty.Digest());
+}
+
+TEST(Hasher, BytesFeedLikeValues) {
+  Hasher a;
+  a.AddBytes("abcdefgh-tail");
+  Hasher b;
+  b.AddBytes("abcdefgh");
+  b.AddBytes("-tail");
+  // Byte streams are chunked into words internally; the same total string
+  // split differently must still hash identically through one AddBytes call
+  // but a length prefix keeps ("ab","c") and ("a","bc") apart.
+  Hasher c;
+  c.AddBytes("abcdefgh-tail");
+  EXPECT_EQ(a.Digest(), c.Digest());
+  EXPECT_NE(a.Digest(), b.Digest());  // each AddBytes call is delimited
+}
+
+TEST(Hasher, DoublesHashByBitPattern) {
+  EXPECT_EQ(HashDouble(0.1), HashDouble(0.1));
+  EXPECT_NE(HashDouble(0.1), HashDouble(0.2));
+  EXPECT_NE(HashDouble(1.0), HashDouble(-1.0));
+}
+
+// y = (a & b) | ~c, z = a ^ c — with control over gate insertion order.
+Network MakeNet(bool reorder_independent_gates) {
+  Network net("hashnet");
+  const NodeId a = net.AddInput("a");
+  const NodeId b = net.AddInput("b");
+  const NodeId c = net.AddInput("c");
+  NodeId g1, nc;
+  if (reorder_independent_gates) {
+    nc = AddNot(net, c, "nc");
+    g1 = AddAnd(net, {a, b}, "g1");
+  } else {
+    g1 = AddAnd(net, {a, b}, "g1");
+    nc = AddNot(net, c, "nc");
+  }
+  const NodeId y = AddOr(net, {g1, nc}, "y_gate");
+  const NodeId z = AddXor2(net, a, c, "z_gate");
+  net.AddOutput("y", y);
+  net.AddOutput("z", z);
+  return net;
+}
+
+TEST(HashNetwork, StableAcrossRebuilds) {
+  EXPECT_EQ(HashNetwork(MakeNet(false)), HashNetwork(MakeNet(false)));
+}
+
+TEST(HashNetwork, InvariantUnderNodeInsertionOrder) {
+  // The two builds intern independent gates in opposite order, so node ids
+  // differ — the canonical digest must not.
+  EXPECT_EQ(HashNetwork(MakeNet(false)), HashNetwork(MakeNet(true)));
+}
+
+TEST(HashNetwork, InvariantUnderCubeOrder) {
+  const Cube ab = Cube::Literal(0, true).Intersect(Cube::Literal(1, true));
+  const Cube nc = Cube::Literal(2, false);
+  auto build = [&](std::vector<Cube> cubes) {
+    Network net("cubes");
+    const NodeId a = net.AddInput("a");
+    const NodeId b = net.AddInput("b");
+    const NodeId c = net.AddInput("c");
+    const NodeId g = net.AddNode({a, b, c}, Sop(3, std::move(cubes)), "g");
+    net.AddOutput("f", g);
+    return net;
+  };
+  EXPECT_EQ(HashNetwork(build({ab, nc})), HashNetwork(build({nc, ab})));
+}
+
+TEST(HashNetwork, IgnoresInternalNodeNames) {
+  Network renamed("hashnet");
+  const NodeId a = renamed.AddInput("a");
+  const NodeId b = renamed.AddInput("b");
+  const NodeId c = renamed.AddInput("c");
+  const NodeId g1 = AddAnd(renamed, {a, b}, "totally_different");
+  const NodeId nc = AddNot(renamed, c, "names_here");
+  const NodeId y = AddOr(renamed, {g1, nc}, "do_not_matter");
+  const NodeId z = AddXor2(renamed, a, c, "at_all");
+  renamed.AddOutput("y", y);
+  renamed.AddOutput("z", z);
+  EXPECT_EQ(HashNetwork(MakeNet(false)), HashNetwork(renamed));
+}
+
+TEST(HashNetwork, SensitiveToSemanticChanges) {
+  const std::uint64_t base = HashNetwork(MakeNet(false));
+
+  // Different network name (analysis reports echo it).
+  {
+    Network named("othername");
+    const NodeId a = named.AddInput("a");
+    const NodeId b = named.AddInput("b");
+    const NodeId c = named.AddInput("c");
+    const NodeId g1 = AddAnd(named, {a, b});
+    const NodeId nc = AddNot(named, c);
+    const NodeId y = AddOr(named, {g1, nc});
+    const NodeId z = AddXor2(named, a, c);
+    named.AddOutput("y", y);
+    named.AddOutput("z", z);
+    EXPECT_NE(base, HashNetwork(named));
+  }
+
+  // Different PO name.
+  {
+    Network net("hashnet");
+    const NodeId a = net.AddInput("a");
+    const NodeId b = net.AddInput("b");
+    const NodeId c = net.AddInput("c");
+    const NodeId g1 = AddAnd(net, {a, b});
+    const NodeId nc = AddNot(net, c);
+    const NodeId y = AddOr(net, {g1, nc});
+    const NodeId z = AddXor2(net, a, c);
+    net.AddOutput("y2", y);
+    net.AddOutput("z", z);
+    EXPECT_NE(base, HashNetwork(net));
+  }
+
+  // Different function: OR instead of AND.
+  {
+    Network net("hashnet");
+    const NodeId a = net.AddInput("a");
+    const NodeId b = net.AddInput("b");
+    const NodeId c = net.AddInput("c");
+    const NodeId g1 = AddOr(net, {a, b});
+    const NodeId nc = AddNot(net, c);
+    const NodeId y = AddOr(net, {g1, nc});
+    const NodeId z = AddXor2(net, a, c);
+    net.AddOutput("y", y);
+    net.AddOutput("z", z);
+    EXPECT_NE(base, HashNetwork(net));
+  }
+
+  // Swapped PI order: same functions, but analysis results are expressed
+  // over PI positions, so the digest must move.
+  {
+    Network net("hashnet");
+    const NodeId b = net.AddInput("b");
+    const NodeId a = net.AddInput("a");
+    const NodeId c = net.AddInput("c");
+    const NodeId g1 = AddAnd(net, {a, b});
+    const NodeId nc = AddNot(net, c);
+    const NodeId y = AddOr(net, {g1, nc});
+    const NodeId z = AddXor2(net, a, c);
+    net.AddOutput("y", y);
+    net.AddOutput("z", z);
+    EXPECT_NE(base, HashNetwork(net));
+  }
+}
+
+TEST(HashNetwork, BlifRoundTripPreservesHashWhenStructurePreserving) {
+  // When every PO name matches its driver's node name the BLIF writer emits
+  // no buffer nodes and a round-trip reproduces the exact structure — and
+  // therefore the exact content address.
+  Network net("hashnet");
+  const NodeId a = net.AddInput("a");
+  const NodeId b = net.AddInput("b");
+  const NodeId c = net.AddInput("c");
+  const NodeId g1 = AddAnd(net, {a, b}, "g1");
+  const NodeId nc = AddNot(net, c, "nc");
+  const NodeId y = AddOr(net, {g1, nc}, "y");
+  const NodeId z = AddXor2(net, a, c, "z");
+  net.AddOutput("y", y);
+  net.AddOutput("z", z);
+  EXPECT_EQ(HashNetwork(net), HashNetwork(ReadBlifString(WriteBlifString(net))));
+}
+
+TEST(HashNetwork, BlifRoundTripIsIdempotent) {
+  // In general the writer/reader pair may restructure once (e.g. buffer
+  // insertion for POs whose name differs from their driver's). That changes
+  // the content address — correctly, since analysis results depend on the
+  // concrete structure. But one round-trip must be a fixed point: BLIF text
+  // submitted to the service hashes identically no matter how many
+  // write/read cycles it has been through.
+  for (const char* name : {"i1", "cmb", "x2", "cu"}) {
+    const Network net = GenerateCircuit(PaperCircuitByName(name).spec);
+    const Network r1 = ReadBlifString(WriteBlifString(net));
+    const Network r2 = ReadBlifString(WriteBlifString(r1));
+    EXPECT_EQ(HashNetwork(r1), HashNetwork(r2)) << name;
+  }
+}
+
+TEST(HashNetwork, CollisionSanityOverPaperSuite) {
+  std::set<std::uint64_t> digests;
+  std::size_t circuits = 0;
+  for (const auto& info : Table2Circuits()) {
+    digests.insert(HashNetwork(GenerateCircuit(info.spec)));
+    ++circuits;
+  }
+  EXPECT_GE(circuits, 10u);
+  EXPECT_EQ(digests.size(), circuits);  // all distinct
+}
+
+}  // namespace
+}  // namespace sm

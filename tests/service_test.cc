@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/flow.h"
+#include "harness/yield.h"
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "network/blif.h"
+#include "service/client.h"
+#include "service/framing.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+#include "suite/paper_suite.h"
+#include "variation/monte_carlo.h"
+
+namespace sm {
+namespace {
+
+std::string TestSocket(const char* tag) {
+  return "/tmp/speedmask_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(Framing, RoundTripInMemory) {
+  const std::string payload = "{\"id\":1}";
+  const std::string frame = EncodeFrame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  std::string decoded;
+  const std::size_t consumed =
+      DecodeFrame(frame, kDefaultMaxFramePayload, &decoded);
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(Framing, EmptyPayloadAndBackToBackFrames) {
+  const std::string two = EncodeFrame("") + EncodeFrame("xy");
+  std::string decoded;
+  std::size_t consumed = DecodeFrame(two, kDefaultMaxFramePayload, &decoded);
+  EXPECT_EQ(consumed, kFrameHeaderBytes);
+  EXPECT_EQ(decoded, "");
+  consumed = DecodeFrame(std::string_view(two).substr(consumed),
+                         kDefaultMaxFramePayload, &decoded);
+  EXPECT_EQ(consumed, kFrameHeaderBytes + 2);
+  EXPECT_EQ(decoded, "xy");
+}
+
+TEST(Framing, TruncatedPrefixAsksForMore) {
+  const std::string frame = EncodeFrame("hello");
+  std::string decoded;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_EQ(DecodeFrame(std::string_view(frame).substr(0, cut),
+                          kDefaultMaxFramePayload, &decoded),
+              0u)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Framing, GarbageMagicThrows) {
+  std::string frame = EncodeFrame("hello");
+  frame[0] = 'X';
+  std::string decoded;
+  EXPECT_THROW(DecodeFrame(frame, kDefaultMaxFramePayload, &decoded),
+               FrameError);
+  // An HTTP probe must be rejected on its first 8 bytes, not interpreted as
+  // a length.
+  EXPECT_THROW(
+      DecodeFrame("GET / HTTP/1.1\r\n", kDefaultMaxFramePayload, &decoded),
+      FrameError);
+}
+
+TEST(Framing, OversizedDeclaredLengthThrows) {
+  const std::string frame = EncodeFrame("0123456789");
+  std::string decoded;
+  EXPECT_THROW(DecodeFrame(frame, /*max_payload=*/9, &decoded), FrameError);
+  EXPECT_NO_THROW(DecodeFrame(frame, /*max_payload=*/10, &decoded));
+}
+
+TEST(Framing, FdRoundTripAndEofSemantics) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  WriteFrame(fds[0], "one");
+  WriteFrame(fds[0], "two");
+  EXPECT_EQ(ReadFrame(fds[1]).value(), "one");
+  EXPECT_EQ(ReadFrame(fds[1]).value(), "two");
+
+  // Clean close at a frame boundary → nullopt, not an error.
+  ::close(fds[0]);
+  EXPECT_EQ(ReadFrame(fds[1]), std::nullopt);
+  ::close(fds[1]);
+}
+
+TEST(Framing, MidFrameEofThrows) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string frame = EncodeFrame("payload");
+  // Send only half the frame, then close.
+  const std::string half = frame.substr(0, frame.size() / 2);
+  ASSERT_EQ(::send(fds[0], half.data(), half.size(), 0),
+            static_cast<ssize_t>(half.size()));
+  ::close(fds[0]);
+  EXPECT_THROW(ReadFrame(fds[1]), FrameError);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(Json, DumpIsCanonicalAndParseRoundTrips) {
+  Json obj = Json::MakeObject();
+  obj.Set("name", "i1");
+  obj.Set("count", std::uint64_t{1024});
+  obj.Set("frac", 0.25);
+  obj.Set("flag", true);
+  Json arr = Json::MakeArray();
+  arr.Append(1.0);
+  arr.Append("x\n");
+  obj.Set("items", std::move(arr));
+
+  const std::string text = obj.Dump();
+  // Insertion order, integral doubles printed as integers, control chars
+  // escaped.
+  EXPECT_EQ(text,
+            "{\"name\":\"i1\",\"count\":1024,\"frac\":0.25,\"flag\":true,"
+            "\"items\":[1,\"x\\n\"]}");
+
+  const Json parsed = Json::Parse(text);
+  EXPECT_EQ(parsed.GetString("name"), "i1");
+  EXPECT_EQ(parsed.GetUint64("count", 0), 1024u);
+  EXPECT_EQ(parsed.GetDouble("frac", 0), 0.25);
+  EXPECT_EQ(parsed.Dump(), text);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(Json::Parse(""), JsonError);
+  EXPECT_THROW(Json::Parse("{"), JsonError);
+  EXPECT_THROW(Json::Parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::Parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::Parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::Parse("\"raw\ncontrol\""), JsonError);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const Json parsed = Json::Parse("\"a\\u0041\\n\\\"\\\\\"");
+  EXPECT_EQ(parsed.AsString(), "aA\n\"\\");
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, LruEvictionOrderAndAccounting) {
+  ResultCache cache(/*max_entries=*/2, /*max_bytes=*/1 << 20);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_EQ(cache.Get(1).value(), "one");  // 1 is now most recent
+  cache.Put(3, "three");                   // evicts 2, the LRU entry
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+  EXPECT_EQ(cache.Get(1).value(), "one");
+  EXPECT_EQ(cache.Get(3).value(), "three");
+
+  const ResultCache::Stats stats = cache.SnapshotStats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, std::string("one").size() + 5);
+}
+
+TEST(ResultCache, ByteBudgetEvictsAndHugeValuesAreSkipped) {
+  ResultCache cache(/*max_entries=*/100, /*max_bytes=*/10);
+  cache.Put(1, "aaaa");  // 4 bytes
+  cache.Put(2, "bbbb");  // 8 bytes total
+  cache.Put(3, "cccc");  // 12 > 10 → evict key 1
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  EXPECT_EQ(cache.Get(2).value(), "bbbb");
+
+  // A value larger than the whole budget is not cached at all.
+  cache.Put(4, std::string(64, 'x'));
+  EXPECT_EQ(cache.Get(4), std::nullopt);
+  EXPECT_EQ(cache.Get(2).value(), "bbbb");  // and nothing was evicted for it
+}
+
+TEST(ResultCache, PutRefreshesExistingKey) {
+  ResultCache cache(/*max_entries=*/2, /*max_bytes=*/1 << 20);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  cache.Put(1, "uno");  // refresh: 1 becomes MRU, value replaced
+  cache.Put(3, "three");
+  EXPECT_EQ(cache.Get(2), std::nullopt);  // 2 was the LRU
+  EXPECT_EQ(cache.Get(1).value(), "uno");
+}
+
+TEST(ResultCache, ZeroEntriesDisables) {
+  ResultCache cache(/*max_entries=*/0);
+  cache.Put(1, "one");
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  EXPECT_EQ(cache.SnapshotStats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrip) {
+  ServiceRequest r;
+  r.id = 42;
+  r.method = ServiceMethod::kEstimateYield;
+  r.circuit_name = "cu";
+  r.guard = 0.15;
+  r.trials = 123;
+  r.sigma = 0.07;
+  r.seed = 7;
+  r.deadline_ms = 250;
+  const ServiceRequest back = ParseRequest(SerializeRequest(r));
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.method, ServiceMethod::kEstimateYield);
+  EXPECT_EQ(back.circuit_name, "cu");
+  EXPECT_EQ(back.guard, 0.15);
+  EXPECT_EQ(back.trials, 123u);
+  EXPECT_EQ(back.sigma, 0.07);
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_EQ(back.deadline_ms, 250);
+}
+
+TEST(Protocol, ParseRequestRejectsMalformed) {
+  EXPECT_THROW(ParseRequest("not json"), std::exception);
+  EXPECT_THROW(ParseRequest("{\"id\":1,\"method\":\"nope\"}"), std::exception);
+  // Analysis without a circuit.
+  EXPECT_THROW(ParseRequest("{\"id\":1,\"method\":\"analyze_spcf\"}"),
+               std::exception);
+  // Both circuit sources at once.
+  EXPECT_THROW(
+      ParseRequest("{\"id\":1,\"method\":\"analyze_spcf\","
+                   "\"circuit_name\":\"i1\",\"circuit_blif\":\".model m\"}"),
+      std::exception);
+  // Guard out of range.
+  EXPECT_THROW(
+      ParseRequest("{\"id\":1,\"method\":\"analyze_spcf\","
+                   "\"circuit_name\":\"i1\",\"guard\":1.5}"),
+      std::exception);
+}
+
+TEST(Protocol, ResponseSplicesResultVerbatim) {
+  ServiceResponse r;
+  r.id = 7;
+  r.status = "ok";
+  r.result_json = "{\"x\":1}";
+  EXPECT_EQ(SerializeResponse(r),
+            "{\"id\":7,\"status\":\"ok\",\"result\":{\"x\":1}}");
+  const ServiceResponse back = ParseResponse(SerializeResponse(r));
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_TRUE(back.ok());
+  EXPECT_EQ(back.result_json, r.result_json);
+}
+
+TEST(Protocol, CacheKeyIdentifiesSameWork) {
+  ServiceRequest by_name;
+  by_name.method = ServiceMethod::kAnalyzeSpcf;
+  by_name.circuit_name = "i1";
+  by_name.guard = 0.1;
+  const Network net = ResolveCircuit(by_name);
+
+  // Identity is structural: the same BLIF text resolved by two different
+  // requests lands on the same key (that is the cross-client cache hit),
+  // regardless of which field carried the circuit.
+  ServiceRequest by_blif;
+  by_blif.method = ServiceMethod::kAnalyzeSpcf;
+  by_blif.circuit_blif = WriteBlifString(ReadBlifString(WriteBlifString(net)));
+  by_blif.guard = 0.1;
+  ServiceRequest by_blif2 = by_blif;
+  by_blif2.id = 17;  // a different client, same work
+  const Network net2 = ResolveCircuit(by_blif);
+  const Network net3 = ResolveCircuit(by_blif2);
+  EXPECT_EQ(RequestCacheKey(by_blif, net2), RequestCacheKey(by_blif2, net3));
+
+  // A restructured netlist (here: the BLIF writer's buffer insertion for
+  // renamed POs) is different work — gate counts and delays differ — so the
+  // key must move.
+  EXPECT_NE(RequestCacheKey(by_name, net), RequestCacheKey(by_blif, net2));
+
+  // Any parameter the result depends on moves the key.
+  ServiceRequest other = by_name;
+  other.guard = 0.2;
+  EXPECT_NE(RequestCacheKey(by_name, net), RequestCacheKey(other, net));
+  other = by_name;
+  other.method = ServiceMethod::kSynthesizeMasking;
+  EXPECT_NE(RequestCacheKey(by_name, net), RequestCacheKey(other, net));
+  other = by_name;
+  other.algorithm = SpcfAlgorithm::kNodeBased;
+  EXPECT_NE(RequestCacheKey(by_name, net), RequestCacheKey(other, net));
+
+  // The request id must NOT affect the key (it is per-connection bookkeeping).
+  other = by_name;
+  other.id = 999;
+  EXPECT_EQ(RequestCacheKey(by_name, net), RequestCacheKey(other, net));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end daemon
+// ---------------------------------------------------------------------------
+
+TEST(Service, DaemonMatchesDirectFlowByteForByte) {
+  ServerOptions options;
+  options.socket_path = TestSocket("e2e");
+  options.num_workers = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+  {
+    ServiceClient client(options.socket_path);
+
+    // analyze_spcf vs a direct harness computation.
+    const ServiceResponse spcf = client.AnalyzeSpcf("cmb", 0.1);
+    ASSERT_TRUE(spcf.ok()) << spcf.error;
+    {
+      const Network ti = GenerateCircuit(PaperCircuitByName("cmb").spec);
+      const Library lib = Lsi10kLike();
+      const TechMapResult mapped = DecomposeAndMap(ti, lib);
+      const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+      SpcfOptions so;
+      so.guard_band = 0.1;
+      so.algorithm = SpcfAlgorithm::kShortPathBased;
+      BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+      const SpcfResult direct = ComputeSpcf(mgr, mapped.netlist, timing, so);
+      EXPECT_EQ(spcf.result_json,
+                EncodeSpcfResult("cmb", mgr, mapped.netlist, timing, direct));
+    }
+
+    // synthesize_masking vs a direct flow run.
+    const ServiceResponse flow = client.SynthesizeMasking("cmb", 0.1);
+    ASSERT_TRUE(flow.ok()) << flow.error;
+    {
+      const Network ti = GenerateCircuit(PaperCircuitByName("cmb").spec);
+      const Library lib = Lsi10kLike();  // must outlive the FlowResult
+      FlowOptions fo;
+      fo.spcf.guard_band = 0.1;
+      const FlowResult direct = RunMaskingFlow(ti, lib, fo);
+      EXPECT_EQ(flow.result_json, EncodeFlowResult(direct));
+    }
+
+    // estimate_yield vs a direct flow + Monte-Carlo run.
+    const ServiceResponse yield = client.EstimateYield("cmb", 0.1, 500, 0.05);
+    ASSERT_TRUE(yield.ok()) << yield.error;
+    {
+      const Network ti = GenerateCircuit(PaperCircuitByName("cmb").spec);
+      const Library lib = Lsi10kLike();  // must outlive the FlowResult
+      FlowOptions fo;
+      fo.spcf.guard_band = 0.1;
+      const FlowResult direct = RunMaskingFlow(ti, lib, fo);
+      YieldMcOptions yo;
+      yo.trials = 500;
+      yo.threads = 1;
+      yo.seed = 2009;
+      yo.model.sigma = 0.05;
+      yo.guard_band = 0.1;
+      const YieldMcResult mc = EstimateTimingYield(direct, yo);
+      EXPECT_EQ(yield.result_json, EncodeYieldResult(direct, mc));
+    }
+
+    // A repeat of the first request is a cache hit with identical bytes.
+    const ServiceResponse again = client.AnalyzeSpcf("cmb", 0.1);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.result_json, spcf.result_json);
+    const Json stats = Json::Parse(client.Stats().result_json);
+    EXPECT_GE(stats.Find("cache")->GetUint64("hits", 0), 1u);
+
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  server.Wait();
+}
+
+TEST(Service, ErrorsComeBackTyped) {
+  ServerOptions options;
+  options.socket_path = TestSocket("err");
+  options.num_workers = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+  {
+    ServiceClient client(options.socket_path);
+
+    // Unknown circuit name → error response, daemon keeps serving.
+    const ServiceResponse bad = client.AnalyzeSpcf("no_such_circuit");
+    EXPECT_EQ(bad.status, "error");
+    EXPECT_FALSE(bad.error.empty());
+
+    // Malformed BLIF → error response.
+    const ServiceResponse bad_blif =
+        client.AnalyzeSpcf(".model broken\n.nonsense\n", 0.1,
+                           SpcfAlgorithm::kShortPathBased, /*is_blif=*/true);
+    EXPECT_EQ(bad_blif.status, "error");
+
+    // An already-expired deadline → timeout without compute.
+    ServiceRequest expired;
+    expired.method = ServiceMethod::kAnalyzeSpcf;
+    expired.circuit_name = "x2";
+    expired.guard = 0.19;  // unique key — must not hit the cache
+    expired.deadline_ms = 0.000001;
+    const ServiceResponse late = client.Call(expired);
+    EXPECT_EQ(late.status, "timeout");
+
+    // The daemon survived all of it.
+    EXPECT_TRUE(client.AnalyzeSpcf("i1").ok());
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  server.Wait();
+}
+
+TEST(Service, OverloadAndGracefulDrain) {
+  ServerOptions options;
+  options.socket_path = TestSocket("ovl");
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+
+  // Saturate the single slot with a slow request on its own connection.
+  std::string slow_status;
+  std::thread slow_thread([&] {
+    ServiceClient slow(options.socket_path);
+    slow_status = slow.EstimateYield("cu", 0.1, 20000, 0.05).status;
+  });
+
+  ServiceClient probe(options.socket_path);
+  for (int i = 0; i < 500; ++i) {
+    const Json stats = Json::Parse(probe.Stats().result_json);
+    if (stats.GetUint64("queue_depth", 0) >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::size_t overloaded = 0;
+  for (int i = 0; i < 3; ++i) {
+    ServiceRequest r;
+    r.method = ServiceMethod::kAnalyzeSpcf;
+    r.circuit_name = "x2";
+    r.guard = 0.21 + 0.01 * i;  // unique keys bypass the cache
+    if (probe.Call(r).status == "overloaded") ++overloaded;
+  }
+  EXPECT_GE(overloaded, 1u);
+
+  // Shutdown is acknowledged only after the accepted request drained.
+  EXPECT_TRUE(probe.Shutdown().ok());
+  server.Wait();
+  slow_thread.join();
+  EXPECT_EQ(slow_status, "ok");
+
+  const ServiceStatsSnapshot stats = server.SnapshotStats();
+  EXPECT_GE(stats.overloaded, overloaded);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(Service, RequestsAfterShutdownAreRejected) {
+  ServerOptions options;
+  options.socket_path = TestSocket("post");
+  options.num_workers = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+  {
+    ServiceClient client(options.socket_path);
+    EXPECT_TRUE(client.AnalyzeSpcf("i1").ok());
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  server.Wait();
+  // The socket is gone: connecting again must fail.
+  EXPECT_THROW(ServiceClient{options.socket_path}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sm
