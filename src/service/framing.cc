@@ -1,5 +1,6 @@
 #include "service/framing.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -53,13 +54,31 @@ std::size_t DecodeFrame(std::string_view buffer, std::size_t max_payload,
   return kFrameHeaderBytes + length;
 }
 
+namespace {
+
+// send() with MSG_NOSIGNAL so a dead peer surfaces as EPIPE (and a
+// FrameError) instead of a process-killing SIGPIPE. Falls back to write()
+// for non-socket fds (pipes), which the in-process tests use.
+ssize_t SendSome(int fd, const char* data, std::size_t len) {
+  const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) return ::write(fd, data, len);
+  return n;
+}
+
+}  // namespace
+
 void WriteFrame(int fd, std::string_view payload) {
   const std::string frame = EncodeFrame(payload);
   std::size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    const ssize_t n = SendSome(fd, frame.data() + sent, frame.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped reading and its socket
+        // buffer is full. Abandon it rather than wedge the caller forever.
+        throw FrameError("frame write timed out (peer not reading)");
+      }
       throw FrameError(std::string("frame write failed: ") +
                        std::strerror(errno));
     }

@@ -45,6 +45,9 @@ std::size_t DecodeFrame(std::string_view buffer, std::size_t max_payload,
                         std::string* payload);
 
 // Blocking write of one frame; throws FrameError on transport failure.
+// Sockets are written with MSG_NOSIGNAL, so a disconnected peer raises
+// FrameError (EPIPE) rather than SIGPIPE. If the fd has SO_SNDTIMEO set,
+// a send that times out (the peer stopped reading) also raises FrameError.
 void WriteFrame(int fd, std::string_view payload);
 
 // Blocking read of one frame. Returns nullopt on a clean EOF at a frame

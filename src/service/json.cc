@@ -26,7 +26,9 @@ double Json::AsDouble() const {
 
 std::uint64_t Json::AsUint64() const {
   const double d = AsDouble();
-  if (d < 0 || std::nearbyint(d) != d || d > 1.8446744073709552e19) {
+  // The bound must be >=: 18446744073709551616.0 is exactly 2^64, and
+  // casting it (or anything above) to uint64_t is undefined behavior.
+  if (d < 0 || std::nearbyint(d) != d || d >= 18446744073709551616.0) {
     Fail("json number is not an unsigned integer: " + JsonNumberToString(d));
   }
   return static_cast<std::uint64_t>(d);

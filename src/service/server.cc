@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -147,6 +148,14 @@ void SpeedmaskServer::AcceptLoop() {
     if (draining_.load()) {
       ::close(fd);
       continue;
+    }
+    if (options_.write_timeout_ms > 0) {
+      // Bound blocking response writes: a client that never reads fails its
+      // sends with EAGAIN (-> FrameError) instead of wedging a worker.
+      timeval tv{};
+      tv.tv_sec = options_.write_timeout_ms / 1000;
+      tv.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     auto conn = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -438,6 +447,11 @@ void SpeedmaskServer::Wait() {
   }
   CloseAllConnections();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // A connection accepted just before draining_ was set may have been
+  // registered after the CloseAllConnections above. Now that the accept
+  // thread is joined, every registration is visible; close again so no
+  // reader thread stays blocked in ReadFrame on an idle client.
+  CloseAllConnections();
   // No new connection threads can start now (accept loop is gone); join the
   // existing ones. Their blocked reads were woken by ForceClose above.
   std::vector<std::thread> threads;

@@ -58,6 +58,10 @@ struct ServerOptions {
   std::size_t cache_entries = 512;
   std::size_t cache_bytes = 64u << 20;
   std::size_t max_frame_bytes = 16u << 20;
+  // SO_SNDTIMEO on accepted sockets: a client that submits requests but
+  // never reads responses is abandoned (write_failures counter) after this
+  // long instead of wedging a worker thread forever. 0 disables.
+  int write_timeout_ms = 10'000;
   std::size_t bdd_node_limit = 8'000'000;
   // A worker manager whose unique table grew beyond this many nodes is
   // rebuilt before its next request (bounds daemon memory under a stream of

@@ -45,18 +45,25 @@ void Hasher::AddBytes(std::string_view bytes) {
 
 namespace {
 
-// Order-independent multiset hash of a node's cubes: XOR of mixed per-cube
-// words plus the count, so permuting the cover leaves the digest unchanged
-// while adding/removing/duplicating a cube does not.
+// Order-independent multiset hash of a node's cubes: XOR and wrap-around
+// sum of mixed per-cube words plus the count, so permuting the cover leaves
+// the digest unchanged while adding/removing/duplicating a cube does not.
+// XOR alone is not enough — a duplicated pair cancels itself (A^A == C^C),
+// making {A,A,B} collide with {C,C,B}; the sum breaks that cancellation.
 std::uint64_t HashSop(const Sop& f) {
-  std::uint64_t acc = 0;
+  std::uint64_t xor_acc = 0;
+  std::uint64_t sum_acc = 0;
   for (const Cube& c : f.cubes()) {
-    acc ^= HashMix64((std::uint64_t{c.pos()} << 32) | c.neg());
+    const std::uint64_t w =
+        HashMix64((std::uint64_t{c.pos()} << 32) | c.neg());
+    xor_acc ^= w;
+    sum_acc += w;
   }
   Hasher h;
   h.Add(static_cast<std::uint64_t>(f.num_vars()));
   h.Add(f.NumCubes());
-  h.Add(acc);
+  h.Add(xor_acc);
+  h.Add(sum_acc);
   return h.Digest();
 }
 

@@ -99,6 +99,27 @@ TEST(HashNetwork, InvariantUnderCubeOrder) {
   EXPECT_EQ(HashNetwork(build({ab, nc})), HashNetwork(build({nc, ab})));
 }
 
+TEST(HashNetwork, DuplicatedCubePairsDoNotCancel) {
+  // Regression: with a pure XOR multiset hash, a duplicated cube pair
+  // cancels itself (A^A == C^C == 0), so {A,A,B} and {C,C,B} — equal cube
+  // counts, different functions — collided and the content-addressed cache
+  // could replay the wrong result.
+  const Cube a_cube = Cube::Literal(0, true);
+  const Cube c_cube = Cube::Literal(2, false);
+  const Cube b_cube = Cube::Literal(1, true);
+  auto build = [&](std::vector<Cube> cubes) {
+    Network net("dupes");
+    const NodeId a = net.AddInput("a");
+    const NodeId b = net.AddInput("b");
+    const NodeId c = net.AddInput("c");
+    const NodeId g = net.AddNode({a, b, c}, Sop(3, std::move(cubes)), "g");
+    net.AddOutput("f", g);
+    return net;
+  };
+  EXPECT_NE(HashNetwork(build({a_cube, a_cube, b_cube})),
+            HashNetwork(build({c_cube, c_cube, b_cube})));
+}
+
 TEST(HashNetwork, IgnoresInternalNodeNames) {
   Network renamed("hashnet");
   const NodeId a = renamed.AddInput("a");

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <string>
@@ -104,6 +105,39 @@ TEST(Framing, FdRoundTripAndEofSemantics) {
   ::close(fds[1]);
 }
 
+TEST(Framing, WriteToClosedPeerThrowsInsteadOfSigpipe) {
+  // Regression: writes used to raise SIGPIPE (default disposition: kill the
+  // whole daemon) when the client disconnected before its response was
+  // written. They must surface as FrameError instead.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  // Large payload so even a buffered first send eventually hits EPIPE.
+  const std::string payload(1u << 20, 'x');
+  EXPECT_THROW(
+      {
+        WriteFrame(fds[0], payload);
+        WriteFrame(fds[0], payload);
+      },
+      FrameError);
+  ::close(fds[0]);
+}
+
+TEST(Framing, SendTimeoutSurfacesAsFrameError) {
+  // A peer that stops reading fills the socket buffer; with SO_SNDTIMEO set
+  // (as the server does on accepted fds) the blocked send must expire into
+  // a FrameError rather than wedge the writer forever.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  timeval tv{};
+  tv.tv_usec = 100'000;  // 100 ms
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)), 0);
+  const std::string payload(8u << 20, 'x');  // far beyond any socket buffer
+  EXPECT_THROW(WriteFrame(fds[0], payload), FrameError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(Framing, MidFrameEofThrows) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -153,6 +187,19 @@ TEST(Json, ParseRejectsGarbage) {
   EXPECT_THROW(Json::Parse("[1,]"), JsonError);
   EXPECT_THROW(Json::Parse("{\"a\":1} trailing"), JsonError);
   EXPECT_THROW(Json::Parse("\"raw\ncontrol\""), JsonError);
+}
+
+TEST(Json, Uint64RejectsValuesAtOrAbove2To64) {
+  // Regression: 2^64 itself passed the old `>` bound (the literal rounds to
+  // exactly 2^64) and the cast was undefined behavior.
+  EXPECT_THROW(Json::Parse("18446744073709551616").AsUint64(), JsonError);
+  EXPECT_THROW(Json::Parse("1e300").AsUint64(), JsonError);
+  EXPECT_THROW(Json::Parse("-1").AsUint64(), JsonError);
+  EXPECT_THROW(Json::Parse("1.5").AsUint64(), JsonError);
+  // Largest double below 2^64 is fine.
+  EXPECT_EQ(Json::Parse("18446744073709549568").AsUint64(),
+            18446744073709549568ull);
+  EXPECT_EQ(Json::Parse("0").AsUint64(), 0ull);
 }
 
 TEST(Json, StringEscapesRoundTrip) {
