@@ -9,12 +9,24 @@
 //       generate a named paper circuit and print stats / write BLIF.
 //   speedmask_cli list
 //       list the built-in paper circuits.
+//   speedmask_cli inject <circuit> [--guard <frac>]
+//                  [--strategy exhaustive|random|adversarial]
+//                  [--fault permanent|transient] [--sites <n>]
+//                  [--vectors <n>] [--delta-fraction <f>] [--seed <n>]
+//                  [--threads <n>] [--repro-dir <dir>]
+//       run the masking flow, then a timing-fault injection campaign against
+//       the protected netlist; nonzero exit on any escape. --repro-dir dumps
+//       shrunk escape reproducers (BLIF + JSON) into an existing directory.
 //   speedmask_cli serve [--socket <path>] [--workers <n>]
 //       run the analysis daemon until a client sends `shutdown`.
-//   speedmask_cli submit <circuit> [--socket <path>] [--method spcf|flow|yield]
+//   speedmask_cli submit <circuit> [--socket <path>]
+//                  [--method spcf|flow|yield|inject]
 //                  [--guard <frac>] [--algo node|path|short]
 //                  [--trials <n>] [--sigma <s>] [--seed <n>]
-//       send one request to a running daemon and print the result JSON.
+//                  [--strategy exhaustive|random|adversarial]
+//                  [--fault permanent|transient] [--sites <n>] [--vectors <n>]
+//       send one request to a running daemon and print the result JSON
+//       (connects and retries with backoff while the daemon is overloaded).
 //   speedmask_cli stats [--socket <path>]
 //   speedmask_cli shutdown [--socket <path>]
 //       query daemon counters / drain and stop the daemon.
@@ -28,6 +40,7 @@
 #include <vector>
 
 #include "harness/flow.h"
+#include "harness/inject.h"
 #include "liblib/lsi10k.h"
 #include "map/netlist_io.h"
 #include "network/blif.h"
@@ -168,6 +181,60 @@ int CmdFlow(std::vector<std::string> args) {
   return (o.safety && o.coverage_100) ? 0 : 1;
 }
 
+int CmdInject(std::vector<std::string> args) {
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli inject <circuit> [--guard <frac>] "
+                 "[--strategy exhaustive|random|adversarial] "
+                 "[--fault permanent|transient] [--sites <n>] [--vectors <n>] "
+                 "[--delta-fraction <f>] [--seed <n>] [--threads <n>] "
+                 "[--repro-dir <dir>]\n";
+    return 2;
+  }
+  const double guard = std::stod(GetFlag(args, "--guard").value_or("0.1"));
+  InjectOptions options;
+  options.strategy = FaultSiteStrategyFromString(
+      GetFlag(args, "--strategy").value_or("exhaustive"));
+  options.fault_kind =
+      FaultKindFromString(GetFlag(args, "--fault").value_or("permanent"));
+  options.max_sites = std::stoull(GetFlag(args, "--sites").value_or("0"));
+  options.vectors_per_site =
+      std::stoull(GetFlag(args, "--vectors").value_or("24"));
+  options.delta_fraction =
+      std::stod(GetFlag(args, "--delta-fraction").value_or("1.0"));
+  options.seed = std::stoull(GetFlag(args, "--seed").value_or("2009"));
+  options.threads = std::stoi(GetFlag(args, "--threads").value_or("1"));
+  const auto repro_dir = GetFlag(args, "--repro-dir");
+
+  const Network ti = LoadCircuit(args[0]);
+  const Library lib = Lsi10kLike();
+  FlowOptions flow_options;
+  flow_options.spcf.guard_band = guard;
+  const FlowResult flow = RunMaskingFlow(ti, lib, flow_options);
+  const InjectionCampaignResult r = RunFaultInjectionCampaign(flow, options);
+
+  std::cout << flow.overheads.circuit << ": " << r.sites << " fault sites ("
+            << ToString(options.strategy) << ", "
+            << ToString(options.fault_kind) << "), " << r.trials
+            << " trials at delta " << r.delta << " (clock " << r.clock
+            << ", judged at " << r.protected_clock << ")\n"
+            << "benign: " << r.benign << "  masked: " << r.masked << " ("
+            << r.masked_events << " events)  escapes: " << r.escapes << "\n";
+  for (const EscapeRecord& rec : r.escape_records) {
+    std::cout << "  escape at " << rec.site_name << " -> " << rec.output_name
+              << " (trial " << rec.trial << ", delta " << rec.delta
+              << (rec.shrunk ? ", shrunk" : "") << ")\n";
+  }
+  if (repro_dir && !r.escape_records.empty()) {
+    for (const std::string& path : WriteEscapeReproducers(
+             flow, r, *repro_dir, flow.overheads.circuit)) {
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  std::cout << "guarantee: " << (r.GuaranteeHolds() ? "held" : "BROKEN")
+            << "\n";
+  return r.GuaranteeHolds() ? 0 : 1;
+}
+
 int CmdServe(std::vector<std::string> args) {
   ServerOptions options;
   options.socket_path =
@@ -207,6 +274,8 @@ int CmdSubmit(std::vector<std::string> args) {
     request.method = ServiceMethod::kSynthesizeMasking;
   } else if (method == "yield") {
     request.method = ServiceMethod::kEstimateYield;
+  } else if (method == "inject") {
+    request.method = ServiceMethod::kInjectCampaign;
   } else {
     std::cerr << "unknown method: " << method << "\n";
     return 2;
@@ -239,9 +308,17 @@ int CmdSubmit(std::vector<std::string> args) {
   request.trials = std::stoull(GetFlag(args, "--trials").value_or("2000"));
   request.sigma = std::stod(GetFlag(args, "--sigma").value_or("0.05"));
   request.seed = std::stoull(GetFlag(args, "--seed").value_or("2009"));
+  request.strategy = FaultSiteStrategyFromString(
+      GetFlag(args, "--strategy").value_or("exhaustive"));
+  request.fault =
+      FaultKindFromString(GetFlag(args, "--fault").value_or("permanent"));
+  request.sites = std::stoull(GetFlag(args, "--sites").value_or("0"));
+  request.vectors = std::stoull(GetFlag(args, "--vectors").value_or("24"));
 
-  ServiceClient client(socket);
-  const ServiceResponse response = client.Call(std::move(request));
+  // Campaign submissions ride out a briefly saturated daemon instead of
+  // failing on the first "overloaded".
+  auto client = ServiceClient::ConnectWithRetry(socket);
+  const ServiceResponse response = client->CallWithRetry(std::move(request));
   if (!response.ok()) {
     std::cerr << response.status << ": " << response.error << "\n";
     return 1;
@@ -277,7 +354,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     std::cerr << "usage: speedmask_cli "
-                 "<list|gen|spcf|flow|serve|submit|stats|shutdown> ...\n";
+                 "<list|gen|spcf|flow|inject|serve|submit|stats|shutdown> "
+                 "...\n";
     return 2;
   }
   const std::string cmd = args[0];
@@ -287,6 +365,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return CmdGen(std::move(args));
     if (cmd == "spcf") return CmdSpcf(std::move(args));
     if (cmd == "flow") return CmdFlow(std::move(args));
+    if (cmd == "inject") return CmdInject(std::move(args));
     if (cmd == "serve") return CmdServe(std::move(args));
     if (cmd == "submit") return CmdSubmit(std::move(args));
     if (cmd == "stats") return CmdStats(std::move(args));

@@ -1,0 +1,102 @@
+#include "harness/inject.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/bench_runner.h"
+#include "map/netlist_io.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+std::string BitsToString(const std::vector<bool>& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (const bool b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+// Shortest round-trip-exact decimal, matching the service Json dumper so
+// reproducer files and daemon responses agree on number spelling.
+std::string FormatDouble(double d) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+double FlowGuardBand(const FlowResult& flow) {
+  const double clock = flow.timing.critical_delay;
+  SM_CHECK(clock > 0, "flow has no critical delay");
+  const double guard = 1.0 - flow.spcf.target_arrival / clock;
+  SM_CHECK(guard > 0 && guard < 1,
+           "flow SPCF target arrival " << flow.spcf.target_arrival
+                                       << " implies guard band " << guard
+                                       << " outside (0, 1)");
+  return guard;
+}
+
+InjectionCampaignResult RunFaultInjectionCampaign(
+    const FlowResult& flow, const InjectOptions& options) {
+  InjectOptions resolved = options;
+  if (resolved.clock < 0) resolved.clock = flow.timing.critical_delay;
+  resolved.guard_band = FlowGuardBand(flow);
+  return RunInjectionCampaign(flow.original, flow.protected_circuit,
+                              resolved);
+}
+
+std::string EncodeEscapeRecordJson(const EscapeRecord& rec, double clock,
+                                   double protected_clock) {
+  std::ostringstream out;
+  out << "{\"trial\":" << rec.trial
+      << ",\"site\":" << rec.site
+      << ",\"site_name\":\"" << JsonEscape(rec.site_name) << "\""
+      << ",\"kind\":\"" << ToString(rec.kind) << "\""
+      << ",\"transition_index\":" << rec.transition_index
+      << ",\"delta\":" << FormatDouble(rec.delta)
+      << ",\"campaign_delta\":" << FormatDouble(rec.campaign_delta)
+      << ",\"previous\":\"" << BitsToString(rec.previous) << "\""
+      << ",\"next\":\"" << BitsToString(rec.next) << "\""
+      << ",\"output_index\":" << rec.output_index
+      << ",\"output_name\":\"" << JsonEscape(rec.output_name) << "\""
+      << ",\"shrunk\":" << (rec.shrunk ? "true" : "false")
+      << ",\"clock\":" << FormatDouble(clock)
+      << ",\"protected_clock\":" << FormatDouble(protected_clock) << "}";
+  return out.str();
+}
+
+std::vector<std::string> WriteEscapeReproducers(
+    const FlowResult& flow, const InjectionCampaignResult& result,
+    const std::string& dir, const std::string& stem, std::size_t max_files) {
+  std::vector<std::string> paths;
+  const std::size_t n = std::min(max_files, result.escape_records.size());
+  // The BLIF is written once per record (not shared) so every reproducer is
+  // a self-contained pair that can be mailed around on its own.
+  const std::string blif = WriteMappedBlifString(flow.protected_circuit.netlist);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string base = dir + "/" + stem + "_escape" + std::to_string(i);
+    {
+      std::ofstream f(base + ".blif");
+      SM_REQUIRE(f.good(), "cannot open " << base << ".blif for writing");
+      f << blif;
+    }
+    {
+      std::ofstream f(base + ".json");
+      SM_REQUIRE(f.good(), "cannot open " << base << ".json for writing");
+      f << EncodeEscapeRecordJson(result.escape_records[i], result.clock,
+                                  result.protected_clock)
+        << "\n";
+    }
+    paths.push_back(base + ".blif");
+    paths.push_back(base + ".json");
+  }
+  return paths;
+}
+
+}  // namespace sm

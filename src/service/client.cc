@@ -4,12 +4,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
 #include "service/framing.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sm {
 
@@ -29,7 +33,25 @@ int ConnectOrNegative(const std::string& socket_path) {
   return fd;
 }
 
+void SleepMs(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
 }  // namespace
+
+double RetryBackoffMs(const RetryPolicy& policy, int attempt) {
+  SM_REQUIRE(attempt >= 0, "attempt must be non-negative, got " << attempt);
+  SM_REQUIRE(policy.jitter_fraction >= 0 && policy.jitter_fraction <= 1,
+             "jitter_fraction must be in [0, 1], got "
+                 << policy.jitter_fraction);
+  const double base =
+      std::min(policy.initial_backoff_ms * std::pow(policy.multiplier, attempt),
+               policy.max_backoff_ms);
+  Rng rng = Rng::ForStream(policy.seed, static_cast<std::uint64_t>(attempt));
+  const double jitter =
+      1.0 + policy.jitter_fraction * (2.0 * rng.Uniform() - 1.0);
+  return base * jitter;
+}
 
 ServiceClient::ServiceClient(const std::string& socket_path) {
   fd_ = ConnectOrNegative(socket_path);
@@ -51,6 +73,34 @@ ServiceResponse ServiceClient::Call(ServiceRequest request) {
     throw FrameError("daemon closed the connection without answering");
   }
   return ParseResponse(*payload);
+}
+
+ServiceResponse ServiceClient::CallWithRetry(ServiceRequest request,
+                                             const RetryPolicy& policy) {
+  SM_REQUIRE(policy.max_attempts > 0, "max_attempts must be positive");
+  if (request.id == 0) request.id = next_id_++;  // identical id on retries
+  ServiceResponse response;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    response = Call(request);
+    if (response.status != "overloaded") return response;
+    if (attempt + 1 < policy.max_attempts) {
+      SleepMs(RetryBackoffMs(policy, attempt));
+    }
+  }
+  return response;
+}
+
+std::unique_ptr<ServiceClient> ServiceClient::ConnectWithRetry(
+    const std::string& socket_path, const RetryPolicy& policy) {
+  SM_REQUIRE(policy.max_attempts > 0, "max_attempts must be positive");
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return std::make_unique<ServiceClient>(socket_path);
+    } catch (const std::runtime_error&) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+    }
+    SleepMs(RetryBackoffMs(policy, attempt));
+  }
 }
 
 ServiceResponse ServiceClient::AnalyzeSpcf(const std::string& circuit,
@@ -85,6 +135,21 @@ ServiceResponse ServiceClient::EstimateYield(const std::string& circuit,
   r.guard = guard;
   r.trials = trials;
   r.sigma = sigma;
+  r.seed = seed;
+  return Call(std::move(r));
+}
+
+ServiceResponse ServiceClient::InjectCampaign(
+    const std::string& circuit, double guard, FaultSiteStrategy strategy,
+    std::uint64_t sites, std::uint64_t vectors, std::uint64_t seed,
+    bool is_blif) {
+  ServiceRequest r;
+  r.method = ServiceMethod::kInjectCampaign;
+  (is_blif ? r.circuit_blif : r.circuit_name) = circuit;
+  r.guard = guard;
+  r.strategy = strategy;
+  r.sites = sites;
+  r.vectors = vectors;
   r.seed = seed;
   return Call(std::move(r));
 }

@@ -10,11 +10,31 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "service/protocol.h"
 
 namespace sm {
+
+// Exponential backoff with deterministic jitter for retrying transient
+// daemon failures ("overloaded" responses and refused connections). The
+// jitter is seeded via Rng::ForStream(seed, attempt), so a given policy's
+// schedule is reproducible — tests assert the exact delays.
+struct RetryPolicy {
+  int max_attempts = 5;          // total tries, first one included
+  double initial_backoff_ms = 25;
+  double multiplier = 2.0;
+  double max_backoff_ms = 2000;
+  // Delay is scaled by a factor uniform in [1 - j, 1 + j); keeps retry
+  // bursts from re-synchronizing against a saturated daemon.
+  double jitter_fraction = 0.25;
+  std::uint64_t seed = 2009;
+};
+
+// Backoff before retry number `attempt` (0-based): min(initial · mult^a,
+// max), jittered. Pure function of (policy, attempt).
+double RetryBackoffMs(const RetryPolicy& policy, int attempt);
 
 class ServiceClient {
  public:
@@ -31,6 +51,21 @@ class ServiceClient {
   // corruption; service-level failures come back as response.status.
   ServiceResponse Call(ServiceRequest request);
 
+  // Like Call, but re-sends while the daemon answers "overloaded", sleeping
+  // RetryBackoffMs between attempts (the request id is assigned once, so
+  // every retry is the same request). Returns the last response — still
+  // "overloaded" when the budget ran out; other statuses return
+  // immediately.
+  ServiceResponse CallWithRetry(ServiceRequest request,
+                                const RetryPolicy& policy = {});
+
+  // Connects, retrying refused connections on the same backoff schedule.
+  // Throws std::runtime_error when the daemon stays unreachable for all
+  // max_attempts tries — campaign submissions survive a daemon that is
+  // briefly down or still binding its socket.
+  static std::unique_ptr<ServiceClient> ConnectWithRetry(
+      const std::string& socket_path, const RetryPolicy& policy = {});
+
   // Convenience wrappers. `circuit` is a built-in paper-circuit name unless
   // `is_blif` is set, in which case it is inline BLIF text.
   ServiceResponse AnalyzeSpcf(const std::string& circuit, double guard = 0.1,
@@ -43,6 +78,11 @@ class ServiceClient {
                                 std::uint64_t trials, double sigma,
                                 std::uint64_t seed = 2009,
                                 bool is_blif = false);
+  ServiceResponse InjectCampaign(
+      const std::string& circuit, double guard = 0.1,
+      FaultSiteStrategy strategy = FaultSiteStrategy::kExhaustiveSpeedPaths,
+      std::uint64_t sites = 0, std::uint64_t vectors = 24,
+      std::uint64_t seed = 2009, bool is_blif = false);
   ServiceResponse Stats();
   // Returns once the daemon has drained all accepted work and acknowledged.
   ServiceResponse Shutdown();

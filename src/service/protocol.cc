@@ -18,6 +18,8 @@ const char* ToString(ServiceMethod method) {
       return "synthesize_masking";
     case ServiceMethod::kEstimateYield:
       return "estimate_yield";
+    case ServiceMethod::kInjectCampaign:
+      return "inject_campaign";
     case ServiceMethod::kStats:
       return "stats";
     case ServiceMethod::kShutdown:
@@ -30,6 +32,7 @@ ServiceMethod ServiceMethodFromString(const std::string& name) {
   if (name == "analyze_spcf") return ServiceMethod::kAnalyzeSpcf;
   if (name == "synthesize_masking") return ServiceMethod::kSynthesizeMasking;
   if (name == "estimate_yield") return ServiceMethod::kEstimateYield;
+  if (name == "inject_campaign") return ServiceMethod::kInjectCampaign;
   if (name == "stats") return ServiceMethod::kStats;
   if (name == "shutdown") return ServiceMethod::kShutdown;
   throw ParseError("unknown service method: " + name);
@@ -80,6 +83,14 @@ std::string SerializeRequest(const ServiceRequest& request) {
       obj.Set("sigma", request.sigma);
       obj.Set("seed", request.seed);
     }
+    if (request.method == ServiceMethod::kInjectCampaign) {
+      obj.Set("strategy", ToString(request.strategy));
+      obj.Set("fault", ToString(request.fault));
+      obj.Set("sites", request.sites);
+      obj.Set("vectors", request.vectors);
+      obj.Set("delta_fraction", request.delta_fraction);
+      obj.Set("seed", request.seed);
+    }
   }
   if (request.deadline_ms > 0) obj.Set("deadline_ms", request.deadline_ms);
   return obj.Dump();
@@ -105,6 +116,12 @@ ServiceRequest ParseRequest(const std::string& payload) {
     r.trials = doc.GetUint64("trials", 2000);
     r.sigma = doc.GetDouble("sigma", 0.05);
     r.seed = doc.GetUint64("seed", 2009);
+    r.strategy =
+        FaultSiteStrategyFromString(doc.GetStringOr("strategy", "exhaustive"));
+    r.fault = FaultKindFromString(doc.GetStringOr("fault", "permanent"));
+    r.sites = doc.GetUint64("sites", 0);
+    r.vectors = doc.GetUint64("vectors", 24);
+    r.delta_fraction = doc.GetDouble("delta_fraction", 1.0);
     r.deadline_ms = doc.GetDouble("deadline_ms", 0);
   } catch (const JsonError& e) {
     throw ParseError(std::string("bad request field: ") + e.what());
@@ -116,6 +133,12 @@ ServiceRequest ParseRequest(const std::string& payload) {
     }
     SM_REQUIRE(r.guard > 0 && r.guard < 1,
                "guard must be in (0, 1), got " << r.guard);
+  }
+  if (r.method == ServiceMethod::kInjectCampaign) {
+    SM_REQUIRE(r.vectors > 0, "vectors must be positive");
+    SM_REQUIRE(std::isfinite(r.delta_fraction) && r.delta_fraction > 0,
+               "delta_fraction must be positive and finite, got "
+                   << r.delta_fraction);
   }
   return r;
 }
@@ -182,6 +205,14 @@ std::uint64_t RequestCacheKey(const ServiceRequest& request,
     h.AddDouble(request.sigma);
     h.Add(request.seed);
   }
+  if (request.method == ServiceMethod::kInjectCampaign) {
+    h.Add(static_cast<std::uint64_t>(request.strategy));
+    h.Add(static_cast<std::uint64_t>(request.fault));
+    h.Add(request.sites);
+    h.Add(request.vectors);
+    h.AddDouble(request.delta_fraction);
+    h.Add(request.seed);
+  }
   return h.Digest();
 }
 
@@ -245,6 +276,55 @@ std::string EncodeYieldResult(const FlowResult& flow,
   obj.Set("residual_rate", yield.residual_rate);
   obj.Set("residual_stderr", yield.residual_stderr);
   obj.Set("effective_samples", yield.effective_samples);
+  return obj.Dump();
+}
+
+namespace {
+
+std::string BitString(const std::vector<bool>& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (const bool b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+}  // namespace
+
+std::string EncodeInjectResult(const FlowResult& flow,
+                               const ServiceRequest& request,
+                               const InjectionCampaignResult& campaign) {
+  Json obj = Json::MakeObject();
+  obj.Set("circuit", flow.overheads.circuit);
+  obj.Set("strategy", ToString(request.strategy));
+  obj.Set("fault", ToString(request.fault));
+  obj.Set("sites", campaign.sites);
+  obj.Set("trials", campaign.trials);
+  obj.Set("benign", campaign.benign);
+  obj.Set("masked", campaign.masked);
+  obj.Set("escapes", campaign.escapes);
+  obj.Set("masked_events", campaign.masked_events);
+  obj.Set("clock", campaign.clock);
+  obj.Set("protected_clock", campaign.protected_clock);
+  obj.Set("delta", campaign.delta);
+  obj.Set("guarantee_holds", campaign.GuaranteeHolds());
+  Json records = Json::MakeArray();
+  for (const EscapeRecord& rec : campaign.escape_records) {
+    Json entry = Json::MakeObject();
+    entry.Set("trial", rec.trial);
+    entry.Set("site", static_cast<std::uint64_t>(rec.site));
+    entry.Set("site_name", rec.site_name);
+    entry.Set("kind", ToString(rec.kind));
+    entry.Set("transition_index", rec.transition_index);
+    entry.Set("delta", rec.delta);
+    entry.Set("campaign_delta", rec.campaign_delta);
+    entry.Set("previous", BitString(rec.previous));
+    entry.Set("next", BitString(rec.next));
+    entry.Set("output_index", rec.output_index);
+    entry.Set("output_name", rec.output_name);
+    entry.Set("shrunk", rec.shrunk);
+    records.Append(std::move(entry));
+  }
+  obj.Set("escape_records", std::move(records));
   return obj.Dump();
 }
 

@@ -4,16 +4,18 @@
 //
 //   request  := {"id": u64, "method": M, ...params}
 //   M        := "analyze_spcf" | "synthesize_masking" | "estimate_yield"
-//             | "stats" | "shutdown"
+//             | "inject_campaign" | "stats" | "shutdown"
 //   response := {"id": u64, "status": S, "result": {...}} on success,
 //               {"id": u64, "status": S, "error": "..."} otherwise
 //   S        := "ok" | "error" | "overloaded" | "timeout" | "shutting_down"
 //
 // Analysis params: the circuit is either "circuit_name" (a built-in paper
 // circuit) or "circuit_blif" (inline BLIF text), plus "guard" and, per
-// method, "algorithm" (analyze_spcf) or "trials"/"sigma"/"seed"
-// (estimate_yield). "deadline_ms" bounds queue wait + compute; an expired
-// request answers with status "timeout" instead of stale work.
+// method, "algorithm" (analyze_spcf), "trials"/"sigma"/"seed"
+// (estimate_yield), or "strategy"/"fault"/"sites"/"vectors"/
+// "delta_fraction"/"seed" (inject_campaign). "deadline_ms" bounds queue
+// wait + compute; an expired request answers with status "timeout" instead
+// of stale work.
 //
 // Determinism contract: the "result" object contains only semantic values
 // (never wall-clock times or BDD work counters, which vary with worker
@@ -29,6 +31,7 @@
 #include <string>
 
 #include "harness/flow.h"
+#include "inject/campaign.h"
 #include "network/network.h"
 #include "variation/monte_carlo.h"
 
@@ -38,11 +41,12 @@ enum class ServiceMethod : std::uint8_t {
   kAnalyzeSpcf,
   kSynthesizeMasking,
   kEstimateYield,
+  kInjectCampaign,
   kStats,
   kShutdown,
 };
 
-inline constexpr int kNumServiceMethods = 5;
+inline constexpr int kNumServiceMethods = 6;
 
 const char* ToString(ServiceMethod method);
 ServiceMethod ServiceMethodFromString(const std::string& name);
@@ -59,13 +63,20 @@ struct ServiceRequest {
   std::uint64_t trials = 2000;
   double sigma = 0.05;
   std::uint64_t seed = 2009;
+  // inject_campaign only.
+  FaultSiteStrategy strategy = FaultSiteStrategy::kExhaustiveSpeedPaths;
+  FaultKind fault = FaultKind::kPermanentDelta;
+  std::uint64_t sites = 0;  // 0 = every candidate (strategy-dependent)
+  std::uint64_t vectors = 24;
+  double delta_fraction = 1.0;
   // 0 = no deadline.
   double deadline_ms = 0;
 
   bool IsAnalysis() const {
     return method == ServiceMethod::kAnalyzeSpcf ||
            method == ServiceMethod::kSynthesizeMasking ||
-           method == ServiceMethod::kEstimateYield;
+           method == ServiceMethod::kEstimateYield ||
+           method == ServiceMethod::kInjectCampaign;
   }
 };
 
@@ -108,5 +119,9 @@ std::string EncodeSpcfResult(const std::string& circuit, BddManager& mgr,
 std::string EncodeFlowResult(const FlowResult& flow);
 std::string EncodeYieldResult(const FlowResult& flow,
                               const YieldMcResult& yield);
+// Only semantic fields of `campaign` (never seconds / trials-per-second).
+std::string EncodeInjectResult(const FlowResult& flow,
+                               const ServiceRequest& request,
+                               const InjectionCampaignResult& campaign);
 
 }  // namespace sm

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "bdd/bdd.h"
+#include "harness/inject.h"
 #include "harness/yield.h"
 #include "liblib/lsi10k.h"
 #include "map/tech_map.h"
@@ -355,6 +356,24 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       yield_options.guard_band = request.guard;
       const YieldMcResult yield = EstimateTimingYield(flow, yield_options);
       return EncodeYieldResult(flow, yield);
+    }
+    case ServiceMethod::kInjectCampaign: {
+      FlowOptions flow_options;
+      flow_options.spcf.guard_band = request.guard;
+      flow_options.reuse_manager = &ctx.ManagerFor(
+          static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
+      const FlowResult flow = RunMaskingFlow(circuit, library_, flow_options);
+      InjectOptions inject_options;
+      inject_options.strategy = request.strategy;
+      inject_options.fault_kind = request.fault;
+      inject_options.max_sites = request.sites;
+      inject_options.vectors_per_site = request.vectors;
+      inject_options.delta_fraction = request.delta_fraction;
+      inject_options.seed = request.seed;
+      inject_options.threads = 1;  // workers are already the parallel axis
+      const InjectionCampaignResult campaign =
+          RunFaultInjectionCampaign(flow, inject_options);
+      return EncodeInjectResult(flow, request, campaign);
     }
     case ServiceMethod::kStats:
     case ServiceMethod::kShutdown:

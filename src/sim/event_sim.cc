@@ -1,11 +1,25 @@
 #include "sim/event_sim.h"
 
+#include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "util/check.h"
 
 namespace sm {
 namespace {
+
+// Per-element delay modifiers must be sane: a negative or non-finite entry
+// would silently produce events travelling backwards in time (or a hung
+// queue), which is indistinguishable from a masking-guarantee violation in
+// the fault-injection campaigns that consume these results.
+void RequireValidDelays(const std::vector<double>& v, const char* what) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    SM_REQUIRE(std::isfinite(v[i]) && v[i] >= 0,
+               what << "[" << i << "] must be finite and non-negative, got "
+                    << v[i]);
+  }
+}
 
 bool EvalCell(const Cell& cell, const std::vector<bool>& value,
               const std::vector<GateId>& fanins) {
@@ -62,6 +76,16 @@ EventSimResult SimulateTransition(const MappedNetlist& net,
   SM_REQUIRE(config.delay_scale.empty() ||
                  config.delay_scale.size() == net.NumElements(),
              "delay_scale must be empty or per-element");
+  RequireValidDelays(config.extra_delay, "extra_delay");
+  RequireValidDelays(config.delay_scale, "delay_scale");
+  for (const TransientFault& f : config.transient_faults) {
+    SM_REQUIRE(f.gate < net.NumElements() && !net.IsInput(f.gate),
+               "transient fault site must be a non-input element, got gate "
+                   << f.gate);
+    SM_REQUIRE(std::isfinite(f.delta) && f.delta >= 0,
+               "transient fault delta must be finite and non-negative, got "
+                   << f.delta);
+  }
   SM_REQUIRE(config.clock >= 0, "clock must be non-negative");
 
   const auto& fanouts = net.Fanouts();
@@ -87,6 +111,25 @@ EventSimResult SimulateTransition(const MappedNetlist& net,
   auto scale = [&config](GateId id) {
     return config.delay_scale.empty() ? 1.0 : config.delay_scale[id];
   };
+  // One counter per fault, counting events scheduled at that fault's gate.
+  // Scheduling order is deterministic (the queue breaks ties on gate then
+  // sequence number), so "the k-th transition" is well defined.
+  std::vector<std::uint64_t> fault_seen(config.transient_faults.size(), 0);
+  auto transient = [&config, &fault_seen](GateId id) {
+    double d = 0;
+    for (std::size_t i = 0; i < config.transient_faults.size(); ++i) {
+      const TransientFault& f = config.transient_faults[i];
+      if (f.gate != id) continue;
+      if (fault_seen[i]++ == f.transition_index) d += f.delta;
+    }
+    return d;
+  };
+  // Edges at one gate output cannot overtake each other: a later-scheduled
+  // edge lands no earlier than any edge already scheduled there. Without
+  // this clamp a transient-delayed (or slow-pin) edge could execute after a
+  // newer edge and freeze the gate at a stale value — the last scheduled
+  // edge must be the last executed for the sim to converge to steady state.
+  std::vector<double> last_out(net.NumElements(), 0.0);
 
   while (!queue.empty()) {
     const Event e = queue.top();
@@ -104,8 +147,11 @@ EventSimResult SimulateTransition(const MappedNetlist& net,
       const bool nv = EvalCell(cell, value, fin);
       for (int p = 0; p < cell.num_pins(); ++p) {
         if (fin[static_cast<std::size_t>(p)] != e.gate) continue;
-        queue.push(Event{e.time + cell.pin_delay(p) * scale(g) + extra(g), g,
-                         nv, seq++});
+        const double t =
+            std::max(last_out[g], e.time + cell.pin_delay(p) * scale(g) +
+                                      extra(g) + transient(g));
+        last_out[g] = t;
+        queue.push(Event{t, g, nv, seq++});
       }
     }
   }

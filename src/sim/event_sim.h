@@ -15,18 +15,37 @@
 
 namespace sm {
 
+// A one-shot delay fault: only the `transition_index`-th output transition
+// scheduled at `gate` (0-based, counting every scheduled event at that gate
+// in deterministic simulation order, cancelled glitches included) is slowed
+// by `delta`. Models a transient upset — a single late edge — as opposed to
+// the permanent slowdown of `extra_delay`. Edges at one gate never overtake
+// each other, so glitch edges right behind the late one are pushed back to
+// its arrival; the gate returns to nominal delay afterwards.
+struct TransientFault {
+  GateId gate = kInvalidGate;
+  std::uint64_t transition_index = 0;
+  double delta = 0;
+};
+
 struct EventSimConfig {
   // Sampling instant (clock period). Values still changing after `clock`
   // make the element a timing-error victim for this pattern pair.
   double clock = 0;
-  // Additive delay applied to every pin of the element (aging injection);
-  // empty means zero everywhere. Indexed by GateId.
+  // Additive delay applied to every pin of the element (aging / delay-fault
+  // injection); empty means zero everywhere. Entries must be finite and
+  // non-negative. Indexed by GateId.
   std::vector<double> extra_delay;
   // Multiplicative factor on every pin delay of the element — the same hook
   // STA's AnalyzeTiming exposes, so a Monte-Carlo variation trial can be
   // timed and simulated under one delay assignment. Empty means 1.0
-  // everywhere; applied before extra_delay is added. Indexed by GateId.
+  // everywhere; applied before extra_delay is added. Entries must be finite
+  // and non-negative. Indexed by GateId.
   std::vector<double> delay_scale;
+  // Transient single-transition faults (fault-injection campaigns). Each
+  // fault's gate must be a non-input element; deltas must be finite and
+  // non-negative.
+  std::vector<TransientFault> transient_faults;
 };
 
 struct EventSimResult {

@@ -237,6 +237,71 @@ TEST(MaskingSynth, PredictionAgreesOnSigmaOnly) {
   EXPECT_NE(pred, y) << "don't-care space should have been exploited";
 }
 
+// Hand-built masking circuits exercising the verifier's failure paths: the
+// synthesized circuits above always pass, so these are the only tests of
+// what VerifyMasking reports when the construction is actually wrong.
+TEST(MaskingVerify, SafetyViolationIsReportedWithTheFailingOutput) {
+  Network ti("and2");
+  const NodeId a = ti.AddInput("a");
+  const NodeId b = ti.AddInput("b");
+  ti.AddOutput("y", AddAnd(ti, {a, b}, "y"));
+  BddManager mgr(2);
+  const auto globals = BuildGlobalBdds(mgr, ti);
+
+  // Indicator constant 1 with a constant-0 prediction: e is raised on
+  // patterns where the prediction is wrong (a=b=1) — unsafe to mux.
+  MaskingCircuit mc{Network("bad_mask"), {}, 0, 0, 0, 0, 0};
+  const NodeId ma = mc.network.AddInput("a");
+  mc.network.AddInput("b");
+  const NodeId na = AddNot(mc.network, ma, "na");
+  mc.network.AddOutput("pred_y", AddAnd(mc.network, {ma, na}, "pred"));
+  mc.network.AddOutput("ind_y", AddOr(mc.network, {ma, na}, "ind"));
+  mc.entries.push_back(MaskingCircuit::Entry{0, 0, 1});
+
+  SpcfResult spcf;
+  spcf.critical_outputs = {0};
+  spcf.sigma = {mgr.Var(0)};
+
+  const MaskingVerification v = VerifyMasking(mgr, ti, globals, mc, spcf);
+  EXPECT_FALSE(v.safety);
+  EXPECT_FALSE(v.ok());
+  ASSERT_EQ(v.failing_outputs.size(), 1u);
+  EXPECT_EQ(v.failing_outputs[0], 0u);
+  // The constant-1 indicator does cover Σ, so coverage itself holds.
+  EXPECT_TRUE(v.coverage);
+  EXPECT_DOUBLE_EQ(v.coverage_fraction, 1.0);
+}
+
+TEST(MaskingVerify, PartialCoverageReportsTheFraction) {
+  Network ti("and2");
+  const NodeId a = ti.AddInput("a");
+  const NodeId b = ti.AddInput("b");
+  ti.AddOutput("y", AddAnd(ti, {a, b}, "y"));
+  BddManager mgr(2);
+  const auto globals = BuildGlobalBdds(mgr, ti);
+
+  // Exact prediction (safety holds trivially) but the indicator only fires
+  // on a ∧ b while Σ = a: half of the Σ minterms are uncovered.
+  MaskingCircuit mc{Network("half_mask"), {}, 0, 0, 0, 0, 0};
+  const NodeId ma = mc.network.AddInput("a");
+  const NodeId mb = mc.network.AddInput("b");
+  mc.network.AddOutput("pred_y", AddAnd(mc.network, {ma, mb}, "pred"));
+  mc.network.AddOutput("ind_y", AddAnd(mc.network, {ma, mb}, "ind"));
+  mc.entries.push_back(MaskingCircuit::Entry{0, 0, 1});
+
+  SpcfResult spcf;
+  spcf.critical_outputs = {0};
+  spcf.sigma = {mgr.Var(0)};
+
+  const MaskingVerification v = VerifyMasking(mgr, ti, globals, mc, spcf);
+  EXPECT_TRUE(v.safety);
+  EXPECT_FALSE(v.coverage);
+  EXPECT_FALSE(v.ok());
+  ASSERT_EQ(v.failing_outputs.size(), 1u);
+  EXPECT_EQ(v.failing_outputs[0], 0u);
+  EXPECT_DOUBLE_EQ(v.coverage_fraction, 0.5);
+}
+
 TEST(MaskingSynth, StructuredComparatorConeInduction) {
   const Network ti = StructuredComparator();
   BddManager mgr(4);

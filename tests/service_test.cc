@@ -3,11 +3,15 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "harness/flow.h"
+#include "harness/inject.h"
 #include "harness/yield.h"
 #include "liblib/lsi10k.h"
 #include "map/tech_map.h"
@@ -508,6 +512,211 @@ TEST(Service, OverloadAndGracefulDrain) {
   const ServiceStatsSnapshot stats = server.SnapshotStats();
   EXPECT_GE(stats.overloaded, overloaded);
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+TEST(Retry, BackoffIsDeterministicJitteredAndCapped) {
+  const RetryPolicy policy;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const double d = RetryBackoffMs(policy, attempt);
+    // Pure function of (policy, attempt): the schedule replays exactly.
+    EXPECT_EQ(d, RetryBackoffMs(policy, attempt));
+    const double base = std::min(
+        policy.initial_backoff_ms * std::pow(policy.multiplier, attempt),
+        policy.max_backoff_ms);
+    EXPECT_GE(d, base * (1.0 - policy.jitter_fraction));
+    EXPECT_LE(d, base * (1.0 + policy.jitter_fraction));
+  }
+
+  // Without jitter the schedule is exactly exponential-with-cap.
+  RetryPolicy exact;
+  exact.jitter_fraction = 0;
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(exact, 0), 25.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(exact, 1), 50.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(exact, 2), 100.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(exact, 20), 2000.0);  // capped
+
+  // Different seeds de-synchronize the jitter (the whole point of it).
+  RetryPolicy other;
+  other.seed = 7;
+  bool any_differs = false;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    any_differs = any_differs || RetryBackoffMs(other, attempt) !=
+                                     RetryBackoffMs(policy, attempt);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Retry, ValidatesArguments) {
+  RetryPolicy policy;
+  EXPECT_THROW(RetryBackoffMs(policy, -1), std::invalid_argument);
+  policy.jitter_fraction = 1.5;
+  EXPECT_THROW(RetryBackoffMs(policy, 0), std::invalid_argument);
+}
+
+TEST(Service, CallWithRetryRidesOutOverload) {
+  ServerOptions options;
+  options.socket_path = TestSocket("rty");
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+
+  // Saturate the single slot with a slow request on its own connection.
+  std::string slow_status;
+  std::thread slow_thread([&] {
+    ServiceClient slow(options.socket_path);
+    slow_status = slow.EstimateYield("cu", 0.1, 20000, 0.05).status;
+  });
+  ServiceClient probe(options.socket_path);
+  for (int i = 0; i < 500; ++i) {
+    const Json stats = Json::Parse(probe.Stats().result_json);
+    if (stats.GetUint64("queue_depth", 0) >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Every attempt lands while the daemon is saturated: the retry budget is
+  // exhausted and the LAST response comes back, still "overloaded".
+  ServiceRequest r;
+  r.method = ServiceMethod::kAnalyzeSpcf;
+  r.circuit_name = "x2";
+  r.guard = 0.27;  // unique key — must not hit the cache
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.multiplier = 1;
+  policy.jitter_fraction = 0;
+  EXPECT_EQ(probe.CallWithRetry(r, policy).status, "overloaded");
+
+  EXPECT_TRUE(probe.Shutdown().ok());
+  server.Wait();
+  slow_thread.join();
+  EXPECT_EQ(slow_status, "ok");
+  // All three attempts reached the daemon (the retry really re-sent).
+  EXPECT_GE(server.SnapshotStats().overloaded, 3u);
+}
+
+TEST(Service, ConnectWithRetryWaitsForTheSocket) {
+  // A socket nobody serves: the budget runs out and the last error escapes.
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.initial_backoff_ms = 1;
+  fast.jitter_fraction = 0;
+  EXPECT_THROW(ServiceClient::ConnectWithRetry(TestSocket("nobody"), fast),
+               std::runtime_error);
+
+  // A daemon that binds late: the client rides out the refused connections.
+  ServerOptions options;
+  options.socket_path = TestSocket("late");
+  options.num_workers = 1;
+  SpeedmaskServer server(options);
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.Start();
+  });
+  RetryPolicy patient;
+  patient.max_attempts = 100;
+  patient.initial_backoff_ms = 10;
+  patient.multiplier = 1;
+  std::unique_ptr<ServiceClient> client =
+      ServiceClient::ConnectWithRetry(options.socket_path, patient);
+  EXPECT_TRUE(client->AnalyzeSpcf("i1").ok());
+  EXPECT_TRUE(client->Shutdown().ok());
+  server.Wait();
+  starter.join();
+}
+
+// ---------------------------------------------------------------------------
+// Injection campaign method
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, InjectRequestRoundTripAndCacheKey) {
+  ServiceRequest r;
+  r.id = 9;
+  r.method = ServiceMethod::kInjectCampaign;
+  r.circuit_name = "cmb";
+  r.guard = 0.1;
+  r.strategy = FaultSiteStrategy::kAdversarial;
+  r.fault = FaultKind::kTransient;
+  r.sites = 7;
+  r.vectors = 9;
+  r.delta_fraction = 0.5;
+  r.seed = 42;
+  const ServiceRequest back = ParseRequest(SerializeRequest(r));
+  EXPECT_EQ(back.method, ServiceMethod::kInjectCampaign);
+  EXPECT_EQ(back.strategy, FaultSiteStrategy::kAdversarial);
+  EXPECT_EQ(back.fault, FaultKind::kTransient);
+  EXPECT_EQ(back.sites, 7u);
+  EXPECT_EQ(back.vectors, 9u);
+  EXPECT_EQ(back.delta_fraction, 0.5);
+  EXPECT_EQ(back.seed, 42u);
+
+  // Every campaign parameter is part of the work's identity.
+  const Network net = ResolveCircuit(r);
+  for (auto mutate : std::vector<void (*)(ServiceRequest&)>{
+           [](ServiceRequest& q) {
+             q.strategy = FaultSiteStrategy::kRandomGates;
+           },
+           [](ServiceRequest& q) { q.fault = FaultKind::kPermanentDelta; },
+           [](ServiceRequest& q) { q.sites = 8; },
+           [](ServiceRequest& q) { q.vectors = 10; },
+           [](ServiceRequest& q) { q.delta_fraction = 1.0; },
+           [](ServiceRequest& q) { q.seed = 43; }}) {
+    ServiceRequest other = r;
+    mutate(other);
+    EXPECT_NE(RequestCacheKey(r, net), RequestCacheKey(other, net));
+  }
+}
+
+TEST(Service, InjectCampaignMatchesDirectAndCaches) {
+  ServerOptions options;
+  options.socket_path = TestSocket("inj");
+  options.num_workers = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+  {
+    ServiceClient client(options.socket_path);
+    const ServiceResponse resp = client.InjectCampaign(
+        "cmb", 0.1, FaultSiteStrategy::kExhaustiveSpeedPaths, /*sites=*/4,
+        /*vectors=*/4);
+    ASSERT_TRUE(resp.ok()) << resp.error;
+
+    // Byte-for-byte against a direct in-process run of the same campaign.
+    {
+      const Network ti = GenerateCircuit(PaperCircuitByName("cmb").spec);
+      const Library lib = Lsi10kLike();  // must outlive the FlowResult
+      FlowOptions fo;
+      fo.spcf.guard_band = 0.1;
+      const FlowResult direct = RunMaskingFlow(ti, lib, fo);
+      InjectOptions io;
+      io.max_sites = 4;
+      io.vectors_per_site = 4;
+      const InjectionCampaignResult campaign =
+          RunFaultInjectionCampaign(direct, io);
+      EXPECT_EQ(campaign.escapes, 0u);
+      ServiceRequest request;
+      request.method = ServiceMethod::kInjectCampaign;
+      request.circuit_name = "cmb";
+      request.guard = 0.1;
+      request.sites = 4;
+      request.vectors = 4;
+      EXPECT_EQ(resp.result_json,
+                EncodeInjectResult(direct, request, campaign));
+    }
+
+    // A repeat is answered from the cache with identical bytes.
+    const ServiceResponse again = client.InjectCampaign(
+        "cmb", 0.1, FaultSiteStrategy::kExhaustiveSpeedPaths, 4, 4);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.result_json, resp.result_json);
+    const Json stats = Json::Parse(client.Stats().result_json);
+    EXPECT_GE(stats.Find("cache")->GetUint64("hits", 0), 1u);
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  server.Wait();
 }
 
 TEST(Service, RequestsAfterShutdownAreRejected) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "liblib/lsi10k.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
@@ -141,6 +143,66 @@ TEST(EventSim, AgingOnSpeedPathCausesMaskableError) {
   nominal.clock = 7.0;
   EXPECT_FALSE(
       SimulateTransition(net, from, to, nominal).TimingErrorAt(y));
+}
+
+TEST(EventSim, RejectsInvalidDelayModifiers) {
+  const Library lib = UnitLibrary();
+  const MappedNetlist net = PaperComparator(lib);
+  const std::vector<bool> p(4, false), q(4, true);
+
+  EventSimConfig cfg;
+  cfg.clock = 7.0;
+  cfg.extra_delay.assign(net.NumElements(), 0.0);
+  cfg.extra_delay[net.FindByName("g4")] = -0.5;
+  EXPECT_THROW(SimulateTransition(net, p, q, cfg), std::invalid_argument);
+  cfg.extra_delay[net.FindByName("g4")] =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(SimulateTransition(net, p, q, cfg), std::invalid_argument);
+
+  cfg = EventSimConfig{};
+  cfg.clock = 7.0;
+  cfg.delay_scale.assign(net.NumElements(), 1.0);
+  cfg.delay_scale[net.FindByName("g4")] = -1.0;
+  EXPECT_THROW(SimulateTransition(net, p, q, cfg), std::invalid_argument);
+  cfg.delay_scale[net.FindByName("g4")] =
+      std::numeric_limits<double>::infinity();
+  EXPECT_THROW(SimulateTransition(net, p, q, cfg), std::invalid_argument);
+
+  // Transient faults: the site must be a non-input element and the delta
+  // finite and non-negative.
+  cfg = EventSimConfig{};
+  cfg.clock = 7.0;
+  cfg.transient_faults.push_back(TransientFault{0, 0, 1.0});  // a PI
+  EXPECT_THROW(SimulateTransition(net, p, q, cfg), std::invalid_argument);
+  cfg.transient_faults[0] = TransientFault{net.FindByName("g4"), 0, -1.0};
+  EXPECT_THROW(SimulateTransition(net, p, q, cfg), std::invalid_argument);
+}
+
+TEST(EventSim, TransientFaultDelaysExactlyOneEdge) {
+  const Library lib = UnitLibrary();
+  MappedNetlist net("chain");
+  const Cell* inv = lib.ByNameOrThrow("INV");
+  const GateId a = net.AddInput("a");
+  const GateId inv1 = net.AddGate(inv, {a}, "inv1");
+  const GateId inv2 = net.AddGate(inv, {inv1}, "inv2");
+  net.AddOutput("y", inv2);
+  const std::vector<bool> p{false}, q{true};
+
+  EventSimConfig cfg;
+  cfg.clock = 2.0;  // nominal chain delay: exactly meets timing
+  cfg.transient_faults.push_back(TransientFault{inv1, 0, 5.0});
+  const EventSimResult faulted = SimulateTransition(net, p, q, cfg);
+  EXPECT_DOUBLE_EQ(faulted.settle_at[inv1], 6.0);
+  EXPECT_DOUBLE_EQ(faulted.settle_at[inv2], 7.0);
+  EXPECT_TRUE(faulted.TimingErrorAt(inv2));
+
+  // The single input edge is event 0 — a later transition index never fires
+  // and the run is indistinguishable from nominal.
+  cfg.transient_faults[0].transition_index = 1;
+  const EventSimResult missed = SimulateTransition(net, p, q, cfg);
+  EXPECT_DOUBLE_EQ(missed.settle_at[inv1], 1.0);
+  EXPECT_DOUBLE_EQ(missed.settle_at[inv2], 2.0);
+  EXPECT_FALSE(missed.TimingErrorAt(inv2));
 }
 
 TEST(EventSim, SettleTimesRespectStaBounds) {
