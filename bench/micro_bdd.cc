@@ -1,7 +1,9 @@
 // BDD-kernel micro benchmark: runs the Table 1 SPCF workload (the hottest
-// BDD consumer in the repo) plus three synthetic kernel stressors, and emits
-// BENCH_bdd.json with wall times AND deterministic operation counts, so the
-// kernel's perf trajectory is machine-checkable even on a 1-CPU container.
+// BDD consumer in the repo) plus three synthetic kernel stressors and a
+// memory-manager suite (GC + sifting reordering on the widest Table 1
+// circuit), and emits BENCH_bdd.json with wall times AND deterministic
+// operation counts, so the kernel's perf trajectory is machine-checkable
+// even on a 1-CPU container.
 //
 // The embedded baseline is the pre-overhaul kernel (std::unordered_map
 // unique table, no complement edges, unnormalized ITE cache keys) measured
@@ -9,9 +11,20 @@
 // The overhauled kernel must stay >= 25% below that (ISSUE 2 acceptance);
 // the JSON reports the reduction so CI can archive the trajectory.
 //
+// The reorder suite runs the full SPCF flow on the widest circuit (C2670,
+// 233 inputs) under four manager configurations — reordering off, GC only,
+// reorder:once and reorder:auto — with identical semantics (the critical-
+// minterm count is cross-checked). Full (non-smoke) runs gate on a >= 30%
+// peak-live-node reduction for reorder:once vs off, the ISSUE 5 headline.
+//
 // Usage: micro_bdd [--threads=N] [--json=PATH] [--smoke]
+//                  [--reorder|--no-reorder]
 //   --json defaults to BENCH_bdd.json; --smoke runs the reduced circuit
-//   list (no baseline comparison, since the baseline covers the full suite).
+//   list (no baseline comparison or reorder gate, since both cover the full
+//   suite). --reorder enables GC + sifting inside the Table 1 workload's
+//   managers (the suite ops gate must hold either way); the reorder suite
+//   itself always runs its four fixed configurations.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,7 +47,12 @@ constexpr double kBaselineTable1Seconds = 0.0174;
 
 struct WorkloadStats {
   std::size_t ops = 0;          // ITE/XOR recursions
-  std::size_t nodes = 0;        // interned nodes
+  std::size_t nodes = 0;        // live nodes at the end of the workload
+  std::size_t peak_nodes = 0;   // summed peak live nodes across managers
+  std::size_t reclaimed = 0;    // nodes reclaimed by mark-and-sweep GC
+  std::size_t gc_runs = 0;
+  std::size_t reorder_runs = 0;
+  std::size_t reorder_swaps = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t unique_probes = 0;
@@ -43,16 +61,40 @@ struct WorkloadStats {
   void Add(const BddStats& s, double secs) {
     ops += s.ite_recursions;
     nodes += s.num_nodes;
+    peak_nodes += s.peak_live_nodes;
+    reclaimed += s.gc_reclaimed;
+    gc_runs += s.gc_runs;
+    reorder_runs += s.reorder_runs;
+    reorder_swaps += s.reorder_swaps;
     cache_hits += s.cache_hits;
     cache_misses += s.cache_misses;
     unique_probes += s.unique_probes;
     seconds += secs;
+  }
+
+  void Accumulate(const WorkloadStats& w) {
+    ops += w.ops;
+    nodes += w.nodes;
+    peak_nodes += w.peak_nodes;
+    reclaimed += w.reclaimed;
+    gc_runs += w.gc_runs;
+    reorder_runs += w.reorder_runs;
+    reorder_swaps += w.reorder_swaps;
+    cache_hits += w.cache_hits;
+    cache_misses += w.cache_misses;
+    unique_probes += w.unique_probes;
+    seconds += w.seconds;
   }
 };
 
 std::string JsonObject(const WorkloadStats& w) {
   std::ostringstream out;
   out << "{\"ite_recursions\": " << w.ops << ", \"nodes\": " << w.nodes
+      << ", \"peak_nodes\": " << w.peak_nodes
+      << ", \"reclaimed_nodes\": " << w.reclaimed
+      << ", \"gc_runs\": " << w.gc_runs
+      << ", \"reorder_runs\": " << w.reorder_runs
+      << ", \"reorder_swaps\": " << w.reorder_swaps
       << ", \"cache_hits\": " << w.cache_hits
       << ", \"cache_misses\": " << w.cache_misses
       << ", \"unique_probes\": " << w.unique_probes
@@ -60,22 +102,36 @@ std::string JsonObject(const WorkloadStats& w) {
   return out.str();
 }
 
+// Manager options for Table 1 rows when --reorder is given: one reordering
+// episode plus routine GC. Rows stay independent (fresh manager each), so
+// the bench remains byte-identical at any thread count.
+BddManagerOptions Table1ReorderOptions() {
+  BddManagerOptions o;
+  o.reorder = BddReorderMode::kOnce;
+  o.reorder_trigger_nodes = 1024;
+  o.gc_threshold = 2048;
+  return o;
+}
+
 // The Table 1 workload: all three SPCF algorithms per circuit, one fresh
 // manager per (circuit, algorithm) pair — identical methodology to the
 // baseline measurement.
 WorkloadStats RunTable1(const std::vector<PaperCircuitInfo>& infos,
-                        int threads) {
+                        int threads, bool reorder) {
   const Library lib = Lsi10kLike();
   const std::vector<Network> nets = GenerateCircuits(infos, threads);
   const std::vector<WorkloadStats> rows =
       ParallelRows(infos.size(), threads, [&](std::size_t i) {
         const TechMapResult mapped = DecomposeAndMap(nets[i], lib);
         const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+        const BddManagerOptions mgr_options =
+            reorder ? Table1ReorderOptions() : BddManagerOptions{};
         WorkloadStats w;
         for (SpcfAlgorithm a :
              {SpcfAlgorithm::kNodeBased, SpcfAlgorithm::kPathBasedExtension,
               SpcfAlgorithm::kShortPathBased}) {
-          BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+          BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()),
+                         mgr_options);
           SpcfOptions o;
           o.algorithm = a;
           o.guard_band = 0.1;
@@ -86,14 +142,7 @@ WorkloadStats RunTable1(const std::vector<PaperCircuitInfo>& infos,
         return w;
       });
   WorkloadStats total;
-  for (const WorkloadStats& w : rows) {
-    total.ops += w.ops;
-    total.nodes += w.nodes;
-    total.cache_hits += w.cache_hits;
-    total.cache_misses += w.cache_misses;
-    total.unique_probes += w.unique_probes;
-    total.seconds += w.seconds;
-  }
+  for (const WorkloadStats& w : rows) total.Accumulate(w);
   return total;
 }
 
@@ -126,11 +175,16 @@ WorkloadStats RunCarryChain() {
 // 512-cube deterministic sum-of-products over 96 variables with sliding
 // local support (random global cube supports would make the BDD blow up
 // exponentially; local windows mirror the generator's locality). Drives the
-// unique-table resize path and the op-cache growth ladder.
+// unique-table resize path and the op-cache growth ladder. Intermediate
+// cubes die immediately, so with a registered root and an aggressive GC
+// threshold this kernel also exercises the mark-and-sweep reclaim path.
 WorkloadStats RunSopStress() {
-  BddManager mgr(96);
+  BddManagerOptions mo;
+  mo.gc_threshold = 512;
+  BddManager mgr(96, mo);
   WallTimer timer;
-  BddManager::Ref f = mgr.False();
+  std::vector<BddManager::Ref> roots{mgr.False()};
+  const BddRootScope scope(mgr, &roots);
   for (int i = 0; i < 512; ++i) {
     const int window = (i * 5) % 88;  // support ⊆ [window, window + 8)
     BddManager::Ref cube = mgr.True();
@@ -140,11 +194,103 @@ WorkloadStats RunSopStress() {
           ((i + j) & 1) != 0 ? mgr.NotVar(var) : mgr.Var(var);
       cube = mgr.And(cube, lit);
     }
-    f = mgr.Or(f, cube);
+    roots[0] = mgr.Or(roots[0], cube);
+    mgr.Checkpoint();
   }
   WorkloadStats w;
   w.Add(mgr.Stats(), timer.Seconds());
   return w;
+}
+
+// Memory-manager suite: the full SPCF flow on one circuit under a fixed
+// manager configuration. Returns the stats plus the critical-minterm count
+// so the caller can assert that GC and reordering preserve semantics.
+struct ReorderRow {
+  WorkloadStats stats;
+  double critical_minterms = 0;
+};
+
+ReorderRow RunReorderRow(const MappedNetlist& net, const TimingInfo& timing,
+                         const BddManagerOptions& mo) {
+  BddManager mgr(static_cast<int>(net.NumInputs()), mo);
+  SpcfOptions o;
+  o.guard_band = 0.1;
+  WallTimer timer;
+  const SpcfResult r = ComputeSpcf(mgr, net, timing, o);
+  ReorderRow row;
+  row.stats.Add(mgr.Stats(), timer.Seconds());
+  row.critical_minterms = r.critical_minterms;
+  return row;
+}
+
+struct ReorderSuite {
+  std::string circuit;
+  ReorderRow off;       // default manager: static order, GC never triggers
+  ReorderRow gc_only;   // aggressive GC threshold, no reordering
+  ReorderRow once;      // one reordering episode (converge, then freeze)
+  ReorderRow auto_row;  // keep reordering on every live-size doubling
+  double gc_peak_reduction_percent = 0;
+  double sifting_gain_percent = 0;  // reorder:once vs off, peak live nodes
+};
+
+ReorderSuite RunReorderSuite(const PaperCircuitInfo& info, int threads) {
+  const Library lib = Lsi10kLike();
+  const std::vector<Network> nets = GenerateCircuits({info}, threads);
+  const TechMapResult mapped = DecomposeAndMap(nets[0], lib);
+  const TimingInfo timing = AnalyzeTiming(mapped.netlist);
+
+  ReorderSuite suite;
+  suite.circuit = info.spec.name;
+
+  const BddManagerOptions off{};
+  BddManagerOptions gc_only;
+  gc_only.gc_threshold = 1024;
+  BddManagerOptions once;
+  once.reorder = BddReorderMode::kOnce;
+  once.reorder_trigger_nodes = 1024;
+  BddManagerOptions auto_mode = once;
+  auto_mode.reorder = BddReorderMode::kAuto;
+
+  suite.off = RunReorderRow(mapped.netlist, timing, off);
+  suite.gc_only = RunReorderRow(mapped.netlist, timing, gc_only);
+  suite.once = RunReorderRow(mapped.netlist, timing, once);
+  suite.auto_row = RunReorderRow(mapped.netlist, timing, auto_mode);
+
+  const double off_peak = static_cast<double>(suite.off.stats.peak_nodes);
+  if (off_peak > 0) {
+    suite.gc_peak_reduction_percent =
+        100.0 *
+        (1.0 - static_cast<double>(suite.gc_only.stats.peak_nodes) / off_peak);
+    suite.sifting_gain_percent =
+        100.0 *
+        (1.0 - static_cast<double>(suite.once.stats.peak_nodes) / off_peak);
+  }
+  return suite;
+}
+
+std::string JsonObject(const ReorderSuite& s) {
+  std::ostringstream out;
+  out << "{\n    \"circuit\": \"" << JsonEscape(s.circuit)
+      << "\",\n    \"off\": " << JsonObject(s.off.stats)
+      << ",\n    \"gc_only\": " << JsonObject(s.gc_only.stats)
+      << ",\n    \"once\": " << JsonObject(s.once.stats)
+      << ",\n    \"auto\": " << JsonObject(s.auto_row.stats)
+      << ",\n    \"critical_minterms\": " << s.off.critical_minterms
+      << ",\n    \"gc_peak_reduction_percent\": " << s.gc_peak_reduction_percent
+      << ",\n    \"sifting_gain_percent\": " << s.sifting_gain_percent
+      << "\n  }";
+  return out.str();
+}
+
+// The widest circuit of the active list (most primary inputs): reordering
+// headroom grows with width, so this is where the paper-scale managers hurt.
+const PaperCircuitInfo& WidestCircuit(
+    const std::vector<PaperCircuitInfo>& infos) {
+  const PaperCircuitInfo* widest = &infos.front();
+  for (const PaperCircuitInfo& info : infos) {
+    if (info.spec.num_inputs > widest->spec.num_inputs) widest = &info;
+  }
+  return *widest;
 }
 
 int Main(int argc, char** argv) {
@@ -153,19 +299,22 @@ int Main(int argc, char** argv) {
   const std::vector<PaperCircuitInfo> infos =
       opts.smoke ? Table1SmokeCircuits() : Table1Circuits();
 
-  const WorkloadStats table1 = RunTable1(infos, opts.threads);
+  const WorkloadStats table1 = RunTable1(infos, opts.threads, opts.reorder);
   const WorkloadStats parity = RunParity();
   const WorkloadStats carry = RunCarryChain();
   const WorkloadStats sop = RunSopStress();
+  const ReorderSuite reorder = RunReorderSuite(WidestCircuit(infos),
+                                               opts.threads);
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"micro_bdd\",\n  \"smoke\": "
        << (opts.smoke ? "true" : "false")
+       << ",\n  \"reorder\": " << (opts.reorder ? "true" : "false")
        << ",\n  \"threads\": " << opts.threads << ",\n  \"table1_suite\": "
        << JsonObject(table1) << ",\n  \"kernels\": {\n    \"parity64\": "
        << JsonObject(parity) << ",\n    \"carry_chain24\": "
        << JsonObject(carry) << ",\n    \"sop_stress\": " << JsonObject(sop)
-       << "\n  }";
+       << "\n  },\n  \"reorder_suite\": " << JsonObject(reorder);
   if (!opts.smoke) {
     const double reduction =
         100.0 *
@@ -191,6 +340,34 @@ int Main(int argc, char** argv) {
               << " ITE recursions on the Table 1 suite exceeds 75% of the "
                  "pre-overhaul baseline ("
               << kBaselineTable1Ops << ")\n";
+    return 1;
+  }
+
+  // Semantics: GC and reordering must not change the computed SPCF.
+  for (const ReorderRow* row :
+       {&reorder.gc_only, &reorder.once, &reorder.auto_row}) {
+    if (row->critical_minterms != reorder.off.critical_minterms) {
+      std::cerr << "!! reorder suite semantics drift on " << reorder.circuit
+                << ": " << row->critical_minterms
+                << " critical minterms != " << reorder.off.critical_minterms
+                << " with the default manager\n";
+      return 1;
+    }
+  }
+  if (!opts.smoke && reorder.gc_only.stats.reclaimed == 0) {
+    std::cerr << "!! reorder suite: GC reclaimed no nodes on the SPCF flow ("
+              << reorder.circuit << ")\n";
+    return 1;
+  }
+  // ISSUE 5 headline gate, full suite only (the smoke circuits are too small
+  // to cross the GC and reordering triggers meaningfully).
+  if (!opts.smoke && reorder.sifting_gain_percent < 30.0) {
+    std::cerr << "!! sifting gain " << reorder.sifting_gain_percent
+              << "% on " << reorder.circuit
+              << " is below the 30% peak-live-node reduction gate "
+                 "(reorder:once peak "
+              << reorder.once.stats.peak_nodes << " vs off peak "
+              << reorder.off.stats.peak_nodes << ")\n";
     return 1;
   }
   return 0;

@@ -10,11 +10,13 @@
 // circuits are synthetic stand-ins (see DESIGN.md §2).
 //
 // Usage: table1_spcf [--threads=N] [--json=PATH] [--smoke]
+//                    [--reorder|--no-reorder]
 //
 // Circuits run as independent pool tasks, one BddManager per task; stdout
 // carries only deterministic values (minterm counts and BDD-kernel op
-// counts), so the table is byte-identical at any thread count. Wall-clock
-// times go to stderr and the JSON dump.
+// counts), so the table is byte-identical at any thread count — with or
+// without --reorder, since each row's manager reorders deterministically.
+// Wall-clock times go to stderr and the JSON dump.
 #include <fstream>
 #include <iostream>
 
@@ -47,12 +49,26 @@ struct CircuitRow {
   AlgoResult node, path, shrt;
 };
 
+// With `reorder`, each per-algorithm manager runs GC at checkpoints and one
+// deterministic sifting episode; the checkpointed global-BDD build lets the
+// reorder fire while the peak is forming.
+BddManagerOptions RowManagerOptions(bool reorder) {
+  BddManagerOptions o;
+  if (reorder) {
+    o.reorder = BddReorderMode::kOnce;
+    o.reorder_trigger_nodes = 1024;
+    o.gc_threshold = 2048;
+  }
+  return o;
+}
+
 AlgoResult RunAlgorithm(const MappedNetlist& net, const TimingInfo& timing,
-                        SpcfAlgorithm algo) {
-  BddManager mgr(static_cast<int>(net.NumInputs()));
+                        SpcfAlgorithm algo, bool reorder) {
+  BddManager mgr(static_cast<int>(net.NumInputs()), RowManagerOptions(reorder));
   std::vector<GateId> roots;
   for (const auto& o : net.outputs()) roots.push_back(o.driver);
-  const auto globals = BuildMappedGlobalBdds(mgr, net, roots);
+  const auto globals =
+      BuildMappedGlobalBdds(mgr, net, roots, /*checkpoint=*/reorder);
   TimedFunctionEngine engine(mgr, net, globals);
   SpcfOptions options;
   options.algorithm = algo;
@@ -106,9 +122,12 @@ int Main(int argc, char** argv) {
         r.io = std::to_string(infos[i].spec.num_inputs) + "/" +
                std::to_string(infos[i].spec.num_outputs);
         r.area = net.TotalArea();
-        r.node = RunAlgorithm(net, timing, SpcfAlgorithm::kNodeBased);
-        r.path = RunAlgorithm(net, timing, SpcfAlgorithm::kPathBasedExtension);
-        r.shrt = RunAlgorithm(net, timing, SpcfAlgorithm::kShortPathBased);
+        r.node =
+            RunAlgorithm(net, timing, SpcfAlgorithm::kNodeBased, opts.reorder);
+        r.path = RunAlgorithm(net, timing, SpcfAlgorithm::kPathBasedExtension,
+                              opts.reorder);
+        r.shrt = RunAlgorithm(net, timing, SpcfAlgorithm::kShortPathBased,
+                              opts.reorder);
         return r;
       });
   const double wall_seconds = wall.Seconds();

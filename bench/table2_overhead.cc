@@ -7,11 +7,16 @@
 // outputs critical.
 //
 // Usage: table2_overhead [--threads=N] [--json=PATH] [--smoke]
+//                        [--reorder|--no-reorder]
 //
 // Circuits run as independent pool tasks (one full masking flow and one
 // BddManager per task); stdout carries only deterministic values — the
 // wall-clock column of the paper's table is replaced by the kernel's ITE
 // recursion count — so the table is byte-identical at any thread count.
+// --reorder turns on GC + one sifting episode inside each flow's manager;
+// rows stay deterministic (and self-verified by the flow's formal coverage
+// check), but the synthesized cubes differ from a --no-reorder run, so
+// byte-identity comparisons must use the same flag on both sides.
 // Wall-clock times go to stderr and the JSON dump.
 #include <fstream>
 #include <iostream>
@@ -58,6 +63,10 @@ void WriteJson(const std::string& path, const std::vector<CircuitRow>& rows,
         << ((o.coverage_100 && o.safety) ? "true" : "false")
         << ", \"seconds\": " << rows[i].seconds
         << ", \"bdd_nodes\": " << rows[i].bdd.num_nodes
+        << ", \"bdd_peak_nodes\": " << rows[i].bdd.peak_live_nodes
+        << ", \"bdd_reclaimed_nodes\": " << rows[i].bdd.gc_reclaimed
+        << ", \"bdd_gc_runs\": " << rows[i].bdd.gc_runs
+        << ", \"bdd_reorder_runs\": " << rows[i].bdd.reorder_runs
         << ", \"ite_recursions\": " << rows[i].bdd.ite_recursions << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -75,7 +84,13 @@ int Main(int argc, char** argv) {
   const std::vector<CircuitRow> rows =
       ParallelRows(infos.size(), opts.threads, [&](std::size_t i) {
         WallTimer timer;
-        const FlowResult r = RunMaskingFlow(nets[i], lib, FlowOptions{});
+        FlowOptions flow_options;
+        if (opts.reorder) {
+          flow_options.bdd_options.reorder = BddReorderMode::kOnce;
+          flow_options.bdd_options.reorder_trigger_nodes = 1024;
+          flow_options.bdd_options.gc_threshold = 2048;
+        }
+        const FlowResult r = RunMaskingFlow(nets[i], lib, flow_options);
         return CircuitRow{r.overheads, r.bdd, timer.Seconds()};
       });
   const double wall_seconds = wall.Seconds();

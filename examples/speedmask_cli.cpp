@@ -1,10 +1,13 @@
 // speedmask_cli — command-line driver for the library.
 //
 //   speedmask_cli flow <circuit> [--guard <frac>] [--verilog <path>]
+//                  [--reorder|--no-reorder]
 //       run the full masking flow on a named paper circuit or a BLIF file;
 //       prints the Table-2 row and optionally writes the protected netlist.
 //   speedmask_cli spcf <circuit> [--guard <frac>] [--algo node|path|short]
-//       compute the SPCF and print per-output pattern counts.
+//                  [--reorder|--no-reorder]
+//       compute the SPCF and print per-output pattern counts. --reorder
+//       turns on GC + one deterministic sifting episode in the BDD manager.
 //   speedmask_cli gen <name> [--blif <path>]
 //       generate a named paper circuit and print stats / write BLIF.
 //   speedmask_cli list
@@ -75,6 +78,33 @@ std::optional<std::string> GetFlag(std::vector<std::string>& args,
   return std::nullopt;
 }
 
+// Valueless switch: returns true if present (and removes it).
+bool GetSwitch(std::vector<std::string>& args, const std::string& name) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == name) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+// --reorder enables GC + one deterministic sifting episode in the BDD
+// manager; --no-reorder (the default) keeps the static variable order.
+bool ParseReorderSwitch(std::vector<std::string>& args) {
+  const bool on = GetSwitch(args, "--reorder");
+  const bool off = GetSwitch(args, "--no-reorder");
+  return on && !off;
+}
+
+BddManagerOptions ReorderManagerOptions() {
+  BddManagerOptions o;
+  o.reorder = BddReorderMode::kOnce;
+  o.reorder_trigger_nodes = 1024;
+  o.gc_threshold = 2048;
+  return o;
+}
+
 int CmdList() {
   std::cout << "built-in circuits (Table 2 of the paper):\n";
   for (const auto& info : Table2Circuits()) {
@@ -105,9 +135,10 @@ int CmdGen(std::vector<std::string> args) {
 int CmdSpcf(std::vector<std::string> args) {
   if (args.empty()) {
     std::cerr << "usage: speedmask_cli spcf <circuit> [--guard <frac>] "
-                 "[--algo node|path|short]\n";
+                 "[--algo node|path|short] [--reorder|--no-reorder]\n";
     return 2;
   }
+  const bool reorder = ParseReorderSwitch(args);
   const double guard = std::stod(GetFlag(args, "--guard").value_or("0.1"));
   const std::string algo = GetFlag(args, "--algo").value_or("short");
   const Network ti = LoadCircuit(args[0]);
@@ -127,7 +158,8 @@ int CmdSpcf(std::vector<std::string> args) {
     std::cerr << "unknown algorithm: " << algo << "\n";
     return 2;
   }
-  BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()));
+  BddManager mgr(static_cast<int>(mapped.netlist.NumInputs()),
+                 reorder ? ReorderManagerOptions() : BddManagerOptions{});
   const SpcfResult r = ComputeSpcf(mgr, mapped.netlist, timing, options);
 
   std::cout << ti.name() << ": Δ = " << timing.critical_delay
@@ -143,21 +175,30 @@ int CmdSpcf(std::vector<std::string> args) {
   }
   std::cout << "union: " << FormatCount(r.critical_minterms) << " patterns ("
             << r.runtime_seconds << " s)\n";
+  if (reorder) {
+    const BddStats s = mgr.Stats();
+    std::cout << "manager: peak " << s.peak_live_nodes << " nodes, "
+              << s.gc_runs << " GC runs (" << s.gc_reclaimed
+              << " nodes reclaimed), " << s.reorder_runs
+              << " reorder runs (" << s.reorder_swaps << " swaps)\n";
+  }
   return 0;
 }
 
 int CmdFlow(std::vector<std::string> args) {
   if (args.empty()) {
     std::cerr << "usage: speedmask_cli flow <circuit> [--guard <frac>] "
-                 "[--verilog <path>]\n";
+                 "[--verilog <path>] [--reorder|--no-reorder]\n";
     return 2;
   }
+  const bool reorder = ParseReorderSwitch(args);
   const double guard = std::stod(GetFlag(args, "--guard").value_or("0.1"));
   const auto verilog_path = GetFlag(args, "--verilog");
   const Network ti = LoadCircuit(args[0]);
   const Library lib = Lsi10kLike();
   FlowOptions options;
   options.spcf.guard_band = guard;
+  if (reorder) options.bdd_options = ReorderManagerOptions();
   const FlowResult r = RunMaskingFlow(ti, lib, options);
   const OverheadReport& o = r.overheads;
 
@@ -173,6 +214,12 @@ int CmdFlow(std::vector<std::string> args) {
             << "%\nsafety           : " << (o.safety ? "proved" : "FAILED")
             << "\ncoverage         : "
             << (o.coverage_100 ? "100% (proved)" : "FAILED") << "\n";
+  if (reorder) {
+    std::cout << "manager          : peak " << r.bdd.peak_live_nodes
+              << " nodes, " << r.bdd.gc_runs << " GC runs ("
+              << r.bdd.gc_reclaimed << " reclaimed), " << r.bdd.reorder_runs
+              << " reorder runs\n";
+  }
   if (verilog_path) {
     std::ofstream f(*verilog_path);
     WriteVerilog(r.protected_circuit.netlist, f);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "util/check.h"
 
@@ -53,34 +54,73 @@ std::size_t TableCapacityFor(std::size_t nodes) {
   return NextPow2(std::max(kMinTableSlots, nodes * kLoadDen / kLoadNum + 1));
 }
 
+BddManagerOptions LegacyOptions(std::size_t node_limit, int op_cache_log2) {
+  BddManagerOptions o;
+  o.node_limit = node_limit;
+  o.op_cache_log2 = op_cache_log2;
+  return o;
+}
+
 }  // namespace
 
-BddManager::BddManager(int num_vars, std::size_t node_limit,
-                       int op_cache_log2)
-    : num_vars_(num_vars), node_limit_(std::min(node_limit, kMaxNodes)) {
+const char* ToString(BddReorderMode mode) {
+  switch (mode) {
+    case BddReorderMode::kOff:
+      return "off";
+    case BddReorderMode::kOnce:
+      return "once";
+    case BddReorderMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+BddManager::BddManager(int num_vars, const BddManagerOptions& options)
+    : num_vars_(num_vars), options_(options) {
   SM_REQUIRE(num_vars >= 0 && num_vars < static_cast<int>(kMaxVarIndex),
              "BDD variable count out of range: " << num_vars);
-  SM_REQUIRE(op_cache_log2 >= 4 && op_cache_log2 <= 28,
-             "BDD op-cache log2 size out of range: " << op_cache_log2);
-  op_cache_max_ = std::size_t{1} << op_cache_log2;
+  SM_REQUIRE(options_.op_cache_log2 >= 4 && options_.op_cache_log2 <= 28,
+             "BDD op-cache log2 size out of range: " << options_.op_cache_log2);
+  SM_REQUIRE(options_.max_growth >= 1.0,
+             "BDD reorder max_growth must be >= 1");
+  options_.node_limit = std::min(options_.node_limit, kMaxNodes);
+  op_cache_max_ = std::size_t{1} << options_.op_cache_log2;
 
   // Pre-reserve from the node limit: managers bounded below kPreReserveNodes
   // get a table that never resizes; unbounded ones start at the same modest
   // capacity and double geometrically.
-  unique_.resize(TableCapacityFor(std::min(node_limit_, kPreReserveNodes)));
-  nodes_.reserve(std::min(node_limit_ + 1, kPreReserveNodes));
+  unique_.resize(
+      TableCapacityFor(std::min(options_.node_limit, kPreReserveNodes)));
+  nodes_.reserve(std::min(options_.node_limit + 1, kPreReserveNodes));
 
   const std::size_t initial_cache =
       std::min(std::size_t{1} << kInitialOpCacheLog2, op_cache_max_);
   op_cache_.resize(initial_cache);
-  cache_grow_at_ =
-      initial_cache < op_cache_max_
-          ? initial_cache
-          : std::numeric_limits<std::size_t>::max();
+  cache_grow_at_ = initial_cache < op_cache_max_
+                       ? initial_cache
+                       : std::numeric_limits<std::size_t>::max();
+
+  // Identity order. The table covers the full var-id range so the terminal's
+  // sentinel id maps to itself (greater than every real level) and the hot
+  // path needs no branch.
+  level_of_var_.resize(kMaxVarIndex + 1);
+  std::iota(level_of_var_.begin(), level_of_var_.end(), 0u);
+  var_at_level_.resize(static_cast<std::size_t>(num_vars_));
+  std::iota(var_at_level_.begin(), var_at_level_.end(), 0u);
 
   // The single ⊤ terminal occupies node 0 with a sentinel var index greater
   // than any real variable, simplifying top-variable comparisons.
   nodes_.push_back(Node{kMaxVarIndex, kTrue, kTrue});
+  ext_refs_.push_back(0);
+  live_nodes_ = 1;
+  peak_live_nodes_ = 1;
+}
+
+BddManager::BddManager(int num_vars, std::size_t node_limit, int op_cache_log2)
+    : BddManager(num_vars, LegacyOptions(node_limit, op_cache_log2)) {}
+
+bool BddManager::IsFreeSlot(std::size_t index) const {
+  return index != 0 && nodes_[index].var == kMaxVarIndex;
 }
 
 std::uint64_t BddManager::UniqueKey(std::uint32_t var, Ref lo, Ref hi) {
@@ -124,6 +164,47 @@ void BddManager::GrowOpCache() {
                        : std::numeric_limits<std::size_t>::max();
 }
 
+void BddManager::UniqueInsert(std::uint64_t key, Ref ref) {
+  const std::size_t mask = unique_.size() - 1;
+  std::size_t i = Mix(key) & mask;
+  while (unique_[i].key != 0) {
+    SM_CHECK(unique_[i].key != key, "duplicate unique-table insert");
+    i = (i + 1) & mask;
+  }
+  unique_[i] = UniqueSlot{key, ref};
+  ++unique_used_;
+  if (unique_used_ * kLoadDen >= unique_.size() * kLoadNum) GrowUniqueTable();
+}
+
+void BddManager::UniqueErase(std::uint64_t key) {
+  // Linear-probing deletion with backward shifting: the hole is filled by
+  // the next entry whose home slot lies at or before the hole, preserving
+  // every remaining entry's probe chain without tombstones.
+  const std::size_t mask = unique_.size() - 1;
+  std::size_t i = Mix(key) & mask;
+  while (unique_[i].key != key) {
+    SM_CHECK(unique_[i].key != 0, "erasing a key missing from unique table");
+    i = (i + 1) & mask;
+  }
+  std::size_t j = i;
+  for (;;) {
+    unique_[i] = UniqueSlot{};
+    for (;;) {
+      j = (j + 1) & mask;
+      if (unique_[j].key == 0) {
+        --unique_used_;
+        return;
+      }
+      const std::size_t home = Mix(unique_[j].key) & mask;
+      // Movable iff the hole lies on j's probe path: dist(home → i) is
+      // shorter than dist(home → j), cyclically.
+      if (((i - home) & mask) < ((j - home) & mask)) break;
+    }
+    unique_[i] = unique_[j];
+    i = j;
+  }
+}
+
 BddManager::Ref BddManager::MakeNode(std::uint32_t var, Ref lo, Ref hi) {
   if (lo == hi) return lo;
   // Canonical complement form: the then-edge of a stored node is regular. A
@@ -144,16 +225,44 @@ BddManager::Ref BddManager::MakeNode(std::uint32_t var, Ref lo, Ref hi) {
     i = (i + 1) & mask;
     ++unique_probes_;
   }
-  // Checked before any mutation, so an overflow leaves the table, the node
-  // store and the op cache all consistent and the manager usable.
-  if (nodes_.size() >= node_limit_) {
+  // The limit bounds *live* nodes (free-listed slots are reusable capacity)
+  // and is checked before any mutation, so an overflow leaves the table,
+  // the node store and the op cache all consistent and the manager usable.
+  if (live_nodes_ >= options_.node_limit) {
     throw BddOverflowError("BDD node limit exceeded (" +
-                           std::to_string(node_limit_) + ")");
+                           std::to_string(options_.node_limit) + ")");
   }
-  const Ref ref = static_cast<Ref>(nodes_.size() << 1);
-  nodes_.push_back(Node{var, lo, hi});
+  std::uint32_t idx;
+  if (free_head_ != 0) {
+    idx = free_head_;
+    free_head_ = nodes_[idx].lo;  // free slots chain through lo
+    --free_count_;
+    nodes_[idx] = Node{var, lo, hi};
+    if (reordering_) {
+      ref_count_[idx] = 0;
+      visit_epoch_[idx] = 0;
+    }
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi});
+    ext_refs_.push_back(0);
+    if (reordering_) {
+      ref_count_.push_back(0);
+      visit_epoch_.push_back(0);
+    }
+  }
+  const Ref ref = static_cast<Ref>(idx) << 1;
   unique_[i] = UniqueSlot{key, ref};
   ++unique_used_;
+  ++live_nodes_;
+  if (live_nodes_ > peak_live_nodes_) peak_live_nodes_ = live_nodes_;
+  ++allocs_since_gc_;
+  if (reordering_) {
+    // Parent-edge refcounts and per-var index lists feed the sifting swaps.
+    ++ref_count_[IndexOf(lo)];
+    ++ref_count_[IndexOf(hi)];
+    var_nodes_[var].push_back(idx);
+  }
   const double load =
       static_cast<double>(unique_used_) / static_cast<double>(unique_.size());
   if (load > peak_load_) peak_load_ = load;
@@ -176,9 +285,10 @@ BddManager::Ref BddManager::Or(Ref f, Ref g) { return IteRec(f, kTrue, g); }
 BddManager::Ref BddManager::Xor(Ref f, Ref g) { return XorRec(f, g); }
 
 BddManager::Ref BddManager::Ite(Ref f, Ref g, Ref h) {
-  SM_REQUIRE(IndexOf(f) < nodes_.size() && IndexOf(g) < nodes_.size() &&
-                 IndexOf(h) < nodes_.size(),
-             "Ite operand is not a node of this manager");
+  SM_REQUIRE(IndexOf(f) < nodes_.size() && !IsFreeSlot(IndexOf(f)) &&
+                 IndexOf(g) < nodes_.size() && !IsFreeSlot(IndexOf(g)) &&
+                 IndexOf(h) < nodes_.size() && !IsFreeSlot(IndexOf(h)),
+             "Ite operand is not a live node of this manager");
   return IteRec(f, g, h);
 }
 
@@ -270,11 +380,15 @@ BddManager::Ref BddManager::IteRec(Ref f, Ref g, Ref h) {
   if (CacheLookup(f, g, h, &cached)) return cached ^ out_neg;
   ++ite_recursions_;
 
-  const std::uint32_t vf = nodes_[IndexOf(f)].var;
-  const std::uint32_t vg = nodes_[IndexOf(g)].var;
-  const std::uint32_t vh = nodes_[IndexOf(h)].var;
-  const std::uint32_t top = std::min({vf, vg, vh});
-  SM_CHECK(top < kMaxVarIndex, "ITE reached terminals unexpectedly");
+  // Top variable = the operand var at the smallest *level* of the current
+  // order (constants carry the sentinel var, which maps to the largest
+  // level, so no branch is needed).
+  const std::uint32_t lf = level_of_var_[nodes_[IndexOf(f)].var];
+  const std::uint32_t lg = level_of_var_[nodes_[IndexOf(g)].var];
+  const std::uint32_t lh = level_of_var_[nodes_[IndexOf(h)].var];
+  const std::uint32_t top = std::min({lf, lg, lh});
+  SM_CHECK(top < static_cast<std::uint32_t>(num_vars_),
+           "ITE reached terminals unexpectedly");
 
   // Copy the nodes: recursion below may grow nodes_ and invalidate refs.
   // f and g are regular here, so their stored edges are their cofactors;
@@ -283,16 +397,16 @@ BddManager::Ref BddManager::IteRec(Ref f, Ref g, Ref h) {
   const Node ng = nodes_[IndexOf(g)];
   const Node nh = nodes_[IndexOf(h)];
   const Ref hc = h & kNeg;
-  const Ref f0 = vf == top ? nf.lo : f;
-  const Ref f1 = vf == top ? nf.hi : f;
-  const Ref g0 = vg == top ? ng.lo : g;
-  const Ref g1 = vg == top ? ng.hi : g;
-  const Ref h0 = vh == top ? (nh.lo ^ hc) : h;
-  const Ref h1 = vh == top ? (nh.hi ^ hc) : h;
+  const Ref f0 = lf == top ? nf.lo : f;
+  const Ref f1 = lf == top ? nf.hi : f;
+  const Ref g0 = lg == top ? ng.lo : g;
+  const Ref g1 = lg == top ? ng.hi : g;
+  const Ref h0 = lh == top ? (nh.lo ^ hc) : h;
+  const Ref h1 = lh == top ? (nh.hi ^ hc) : h;
 
   const Ref lo = IteRec(f0, g0, h0);
   const Ref hi = IteRec(f1, g1, h1);
-  const Ref result = MakeNode(top, lo, hi);
+  const Ref result = MakeNode(var_at_level_[top], lo, hi);
 
   CacheStore(f, g, h, result);
   return result ^ out_neg;
@@ -316,21 +430,21 @@ BddManager::Ref BddManager::XorRec(Ref f, Ref g) {
   if (CacheLookup(f, g, kXorTag, &cached)) return cached ^ out_neg;
   ++ite_recursions_;
 
-  const std::uint32_t vf = nodes_[IndexOf(f)].var;
-  const std::uint32_t vg = nodes_[IndexOf(g)].var;
-  const std::uint32_t top = std::min(vf, vg);
+  const std::uint32_t lf = level_of_var_[nodes_[IndexOf(f)].var];
+  const std::uint32_t lg = level_of_var_[nodes_[IndexOf(g)].var];
+  const std::uint32_t top = std::min(lf, lg);
 
   // Copy the nodes: recursion below may grow nodes_ and invalidate refs.
   const Node nf = nodes_[IndexOf(f)];
   const Node ng = nodes_[IndexOf(g)];
-  const Ref f0 = vf == top ? nf.lo : f;
-  const Ref f1 = vf == top ? nf.hi : f;
-  const Ref g0 = vg == top ? ng.lo : g;
-  const Ref g1 = vg == top ? ng.hi : g;
+  const Ref f0 = lf == top ? nf.lo : f;
+  const Ref f1 = lf == top ? nf.hi : f;
+  const Ref g0 = lg == top ? ng.lo : g;
+  const Ref g1 = lg == top ? ng.hi : g;
 
   const Ref lo = XorRec(f0, g0);
   const Ref hi = XorRec(f1, g1);
-  const Ref result = MakeNode(top, lo, hi);
+  const Ref result = MakeNode(var_at_level_[top], lo, hi);
 
   CacheStore(f, g, kXorTag, result);
   return result ^ out_neg;
@@ -384,7 +498,11 @@ BddManager::Ref BddManager::ComposeRec(Ref f, int var, Ref g,
   if (IsConst(f)) return f;
   // Copy the node: recursion below may grow nodes_ and invalidate refs.
   const Node n = nodes_[IndexOf(f)];
-  if (static_cast<int>(n.var) > var) return f;  // var cannot occur below
+  // var cannot occur below f's top in the current order.
+  if (level_of_var_[n.var] >
+      level_of_var_[static_cast<std::uint32_t>(var)]) {
+    return f;
+  }
   const auto it = memo.find(f);
   if (it != memo.end()) return it->second;
 
@@ -526,9 +644,442 @@ std::size_t BddManager::DagSize(Ref f) const {
   return count;
 }
 
+// ---------------------------------------------------------------------------
+// External references.
+
+void BddManager::RegisterRoot(Ref f) {
+  const std::size_t idx = IndexOf(f);
+  SM_REQUIRE(idx < nodes_.size() && !IsFreeSlot(idx),
+             "RegisterRoot on a ref that is not a live node");
+  ++ext_refs_[idx];
+  ++ext_root_count_;
+}
+
+void BddManager::UnregisterRoot(Ref f) {
+  const std::size_t idx = IndexOf(f);
+  SM_REQUIRE(idx < ext_refs_.size() && ext_refs_[idx] > 0,
+             "unbalanced UnregisterRoot");
+  --ext_refs_[idx];
+  --ext_root_count_;
+}
+
+bool BddManager::IsRegistered(Ref f) const {
+  const std::size_t idx = IndexOf(f);
+  return idx < ext_refs_.size() && ext_refs_[idx] > 0;
+}
+
+void BddManager::RegisterRootVector(const std::vector<Ref>* roots) {
+  SM_REQUIRE(roots != nullptr, "null root vector");
+  root_vectors_.push_back(roots);
+}
+
+void BddManager::UnregisterRootVector(const std::vector<Ref>* roots) {
+  const auto it =
+      std::find(root_vectors_.rbegin(), root_vectors_.rend(), roots);
+  SM_REQUIRE(it != root_vectors_.rend(), "unbalanced UnregisterRootVector");
+  root_vectors_.erase(std::next(it).base());
+}
+
+void BddManager::RegisterRootSource(const BddRootSource* source) {
+  SM_REQUIRE(source != nullptr, "null root source");
+  root_sources_.push_back(source);
+}
+
+void BddManager::UnregisterRootSource(const BddRootSource* source) {
+  const auto it =
+      std::find(root_sources_.rbegin(), root_sources_.rend(), source);
+  SM_REQUIRE(it != root_sources_.rend(), "unbalanced UnregisterRootSource");
+  root_sources_.erase(std::next(it).base());
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection.
+
+void BddManager::MarkRoots(std::vector<bool>* marked) const {
+  (*marked)[0] = true;
+  std::vector<std::uint32_t> stack;
+  const auto push_ref = [&](Ref r) {
+    const std::size_t idx = IndexOf(r);
+    SM_CHECK(idx < marked->size(), "root ref out of range");
+    if (!(*marked)[idx]) {
+      (*marked)[idx] = true;
+      stack.push_back(static_cast<std::uint32_t>(idx));
+    }
+  };
+  for (std::size_t idx = 1; idx < ext_refs_.size(); ++idx) {
+    if (ext_refs_[idx] != 0 && !(*marked)[idx]) {
+      (*marked)[idx] = true;
+      stack.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+  for (const std::vector<Ref>* vec : root_vectors_) {
+    for (const Ref r : *vec) push_ref(r);
+  }
+  std::vector<Ref> source_roots;
+  for (const BddRootSource* src : root_sources_) {
+    source_roots.clear();
+    src->AppendRoots(&source_roots);
+    for (const Ref r : source_roots) push_ref(r);
+  }
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    push_ref(nodes_[idx].lo);
+    push_ref(nodes_[idx].hi);
+  }
+}
+
+std::size_t BddManager::GarbageCollect() {
+  SM_REQUIRE(!reordering_, "GarbageCollect during a reorder pass");
+  ++gc_runs_;
+  allocs_since_gc_ = 0;
+
+  std::vector<bool> marked(nodes_.size(), false);
+  MarkRoots(&marked);
+
+  // Sweep: dead nodes go to the free list (indices are reused later, so
+  // surviving refs never move).
+  std::vector<bool> freed_now(nodes_.size(), false);
+  std::size_t reclaimed = 0;
+  for (std::size_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (marked[idx] || IsFreeSlot(idx)) continue;
+    nodes_[idx] = Node{kMaxVarIndex, free_head_, 0};
+    free_head_ = static_cast<std::uint32_t>(idx);
+    ++free_count_;
+    freed_now[idx] = true;
+    ++reclaimed;
+  }
+  live_nodes_ -= reclaimed;
+  gc_reclaimed_ += reclaimed;
+
+  // Rebuild the unique table over the survivors (cheaper and simpler than
+  // per-entry deletion, and it re-tightens the capacity after a big sweep).
+  unique_.assign(TableCapacityFor(live_nodes_), UniqueSlot{});
+  unique_used_ = 0;
+  const std::size_t mask = unique_.size() - 1;
+  for (std::size_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (!marked[idx]) continue;
+    const Node& n = nodes_[idx];
+    const std::uint64_t key = UniqueKey(n.var, n.lo, n.hi);
+    std::size_t i = Mix(key) & mask;
+    while (unique_[i].key != 0) i = (i + 1) & mask;
+    unique_[i] = UniqueSlot{key, static_cast<Ref>(idx) << 1};
+    ++unique_used_;
+  }
+
+  // Invalidate exactly the op-cache entries that touch a swept node; the
+  // rest stay valid (GC does not change any surviving node), so a warm
+  // manager keeps its hits.
+  const auto dead = [&](Ref r) {
+    const std::size_t idx = IndexOf(r);
+    return idx < freed_now.size() && freed_now[idx];
+  };
+  for (CacheEntry& e : op_cache_) {
+    if (e.f == kInvalidRef) continue;
+    if (dead(e.f) || dead(e.g) || dead(e.h) || dead(e.result)) {
+      e = CacheEntry{};
+    }
+  }
+  return reclaimed;
+}
+
+// ---------------------------------------------------------------------------
+// Sifting reordering.
+
+void BddManager::BuildReorderScratch() {
+  ref_count_.assign(nodes_.size(), 0);
+  visit_epoch_.assign(nodes_.size(), 0);
+  epoch_ = 0;
+  var_nodes_.assign(static_cast<std::size_t>(num_vars_), {});
+  for (std::size_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (IsFreeSlot(idx)) continue;
+    const Node& n = nodes_[idx];
+    var_nodes_[n.var].push_back(static_cast<std::uint32_t>(idx));
+    ++ref_count_[IndexOf(n.lo)];
+    ++ref_count_[IndexOf(n.hi)];
+  }
+  // External roots count as parents too: a node referenced only from a
+  // registered root (single ref, root vector, or root source) must survive
+  // the swap cascades even with no stored parent.
+  for (std::size_t idx = 1; idx < ext_refs_.size(); ++idx) {
+    ref_count_[idx] += ext_refs_[idx];
+  }
+  for (const std::vector<Ref>* vec : root_vectors_) {
+    for (const Ref r : *vec) ++ref_count_[IndexOf(r)];
+  }
+  std::vector<Ref> source_roots;
+  for (const BddRootSource* src : root_sources_) {
+    source_roots.clear();
+    src->AppendRoots(&source_roots);
+    for (const Ref r : source_roots) ++ref_count_[IndexOf(r)];
+  }
+}
+
+void BddManager::DropReorderScratch() {
+  ref_count_.clear();
+  ref_count_.shrink_to_fit();
+  visit_epoch_.clear();
+  visit_epoch_.shrink_to_fit();
+  var_nodes_.clear();
+  var_nodes_.shrink_to_fit();
+}
+
+void BddManager::DecRefRec(Ref f) {
+  const std::size_t idx = IndexOf(f);
+  if (idx == 0) return;
+  SM_CHECK(ref_count_[idx] > 0, "reorder parent-count underflow");
+  // The counts were seeded with every external root, so reaching zero means
+  // no stored parent AND no registered root references the node.
+  if (--ref_count_[idx] != 0) return;
+  // No stored parent and no external root: the node is dead. Remove it now
+  // so the sifting size metric is exact, and cascade to its children.
+  const Node n = nodes_[idx];
+  UniqueErase(UniqueKey(n.var, n.lo, n.hi));
+  nodes_[idx] = Node{kMaxVarIndex, free_head_, 0};
+  free_head_ = static_cast<std::uint32_t>(idx);
+  ++free_count_;
+  --live_nodes_;
+  DecRefRec(n.lo);
+  DecRefRec(n.hi);
+}
+
+void BddManager::SwapLevels(int level) {
+  const std::uint32_t x = var_at_level_[static_cast<std::size_t>(level)];
+  const std::uint32_t y = var_at_level_[static_cast<std::size_t>(level) + 1];
+  ++pass_swaps_;
+  ++reorder_swaps_;
+
+  const auto top_is = [&](Ref r, std::uint32_t v) {
+    return (r >> 1) != 0 && nodes_[IndexOf(r)].var == v;
+  };
+
+  // Process every node labelled x. Nodes whose children do not involve y
+  // are untouched (x simply moves below y); the rest are rewritten in place
+  // to a y-node over two freshly interned x-children, preserving the node's
+  // index (and therefore every ref to it) and its function.
+  std::vector<std::uint32_t> old_x = std::move(var_nodes_[x]);
+  var_nodes_[x].clear();  // created x-children accumulate here via MakeNode
+  std::vector<std::uint32_t> keep_x;
+  std::vector<std::uint32_t> rewritten;
+  ++epoch_;
+  for (const std::uint32_t idx : old_x) {
+    if (visit_epoch_[idx] == epoch_) continue;  // stale duplicate
+    visit_epoch_[idx] = epoch_;
+    if (IsFreeSlot(idx) || nodes_[idx].var != x) continue;  // stale entry
+    const Node n = nodes_[idx];
+    const Ref f0 = n.lo;
+    const Ref f1 = n.hi;  // regular by canonical form
+    const bool i0 = top_is(f0, y);
+    const bool i1 = top_is(f1, y);
+    if (!i0 && !i1) {
+      keep_x.push_back(idx);
+      continue;
+    }
+    Ref f00 = f0, f01 = f0, f10 = f1, f11 = f1;
+    if (i0) {
+      const Node c = nodes_[IndexOf(f0)];
+      const Ref cb = f0 & kNeg;
+      f00 = c.lo ^ cb;
+      f01 = c.hi ^ cb;
+    }
+    if (i1) {
+      const Node c = nodes_[IndexOf(f1)];
+      f10 = c.lo;
+      f11 = c.hi;
+    }
+    const Ref lo2 = MakeNode(x, f00, f10);
+    const Ref hi2 = MakeNode(x, f01, f11);
+    // hi2 inherits f11's regularity, so the rewritten node stays canonical.
+    SM_CHECK((hi2 & kNeg) == 0, "swap produced a complemented then-edge");
+    // Add the new child edges before dropping the old ones so shared nodes
+    // never transit through zero parents.
+    ++ref_count_[IndexOf(lo2)];
+    ++ref_count_[IndexOf(hi2)];
+    UniqueErase(UniqueKey(x, f0, f1));
+    nodes_[idx] = Node{y, lo2, hi2};
+    UniqueInsert(UniqueKey(y, lo2, hi2), static_cast<Ref>(idx) << 1);
+    rewritten.push_back(idx);
+    DecRefRec(f0);
+    DecRefRec(f1);
+  }
+
+  // New y bucket: the rewritten nodes plus the old y-nodes that survived
+  // (some lost their last parent above and were reclaimed by DecRefRec).
+  std::vector<std::uint32_t> old_y = std::move(var_nodes_[y]);
+  std::vector<std::uint32_t> new_y = std::move(rewritten);
+  ++epoch_;
+  for (const std::uint32_t idx : old_y) {
+    if (visit_epoch_[idx] == epoch_) continue;
+    visit_epoch_[idx] = epoch_;
+    if (IsFreeSlot(idx) || nodes_[idx].var != y) continue;
+    new_y.push_back(idx);
+  }
+  var_nodes_[y] = std::move(new_y);
+
+  // New x bucket: untouched survivors plus the children MakeNode created
+  // above (they were appended to var_nodes_[x] by the reordering hook).
+  std::vector<std::uint32_t> created = std::move(var_nodes_[x]);
+  var_nodes_[x] = std::move(keep_x);
+  var_nodes_[x].insert(var_nodes_[x].end(), created.begin(), created.end());
+
+  var_at_level_[static_cast<std::size_t>(level)] = y;
+  var_at_level_[static_cast<std::size_t>(level) + 1] = x;
+  level_of_var_[x] = static_cast<std::uint32_t>(level) + 1;
+  level_of_var_[y] = static_cast<std::uint32_t>(level);
+}
+
+void BddManager::SiftVar(int var, std::size_t pass_budget) {
+  const std::size_t start_size = live_nodes_;
+  const std::size_t growth_limit =
+      static_cast<std::size_t>(options_.max_growth *
+                               static_cast<double>(start_size)) +
+      1;
+  int level = LevelOfVar(var);
+  int best_level = level;
+  std::size_t best_size = live_nodes_;
+  // Down to the bottom…
+  while (level + 1 < num_vars_ && pass_swaps_ < pass_budget) {
+    SwapLevels(level);
+    ++level;
+    if (live_nodes_ < best_size) {
+      best_size = live_nodes_;
+      best_level = level;
+    }
+    if (live_nodes_ > growth_limit) break;
+  }
+  // …then up to the root…
+  while (level > 0 && pass_swaps_ < pass_budget) {
+    SwapLevels(level - 1);
+    --level;
+    if (live_nodes_ < best_size) {
+      best_size = live_nodes_;
+      best_level = level;
+    }
+    if (live_nodes_ > growth_limit) break;
+  }
+  // …then settle at the best position seen. Every visited position is at or
+  // below the current level, so settling only moves down; it ignores the
+  // swap budget because leaving the variable stranded would be worse than a
+  // few extra swaps (bounded by num_vars).
+  while (level < best_level) {
+    SwapLevels(level);
+    ++level;
+  }
+}
+
+void BddManager::SiftPass() {
+  SM_REQUIRE(!reordering_, "reentrant reorder pass");
+  if (num_vars_ < 2) return;
+  // Start from a clean heap: only live nodes take part, parent counts are
+  // exact, and the op cache is dropped wholesale (swaps reclaim nodes
+  // without the sweep bookkeeping that selective invalidation needs).
+  GarbageCollect();
+  std::fill(op_cache_.begin(), op_cache_.end(), CacheEntry{});
+  reordering_ = true;
+  pass_swaps_ = 0;
+  BuildReorderScratch();
+
+  // Sift the biggest variables first (Rudell's heuristic); ties break by
+  // variable id, so the pass is fully deterministic.
+  std::vector<int> order(static_cast<std::size_t>(num_vars_));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::size_t> count(order.size());
+  for (std::size_t v = 0; v < count.size(); ++v) {
+    count[v] = var_nodes_[v].size();
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return count[static_cast<std::size_t>(a)] >
+           count[static_cast<std::size_t>(b)];
+  });
+
+  for (const int v : order) {
+    if (pass_swaps_ >= options_.max_swaps) break;
+    if (count[static_cast<std::size_t>(v)] == 0) continue;
+    SiftVar(v, options_.max_swaps);
+  }
+
+  DropReorderScratch();
+  reordering_ = false;
+}
+
+void BddManager::Reorder() {
+  // Separate the sifting gain from plain garbage: collect first, then
+  // measure the heap across the sifting passes only.
+  GarbageCollect();
+  const std::size_t start = std::max<std::size_t>(live_nodes_, 1);
+  // Rudell's convergence loop: keep sifting while a full pass still shrinks
+  // the heap by ≥2%. Pass order depends only on bucket sizes and the loop
+  // bound only on live-node counts, so the whole reorder is deterministic.
+  constexpr int kMaxPasses = 8;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    const std::size_t before = live_nodes_;
+    SiftPass();
+    if (live_nodes_ * 50 >= before * 49) break;
+  }
+  ++reorder_runs_;
+  reordered_once_ = true;
+  next_auto_reorder_at_ =
+      std::max(live_nodes_ * 2, options_.reorder_trigger_nodes);
+  // kOnce: the episode ends — and the order freezes for good — once a
+  // triggered reorder stops paying for itself (<5% net shrink).
+  if (options_.reorder == BddReorderMode::kOnce &&
+      live_nodes_ * 20 >= start * 19) {
+    reorder_frozen_ = true;
+  }
+}
+
+bool BddManager::ReorderTriggered() const {
+  switch (options_.reorder) {
+    case BddReorderMode::kOff:
+      return false;
+    case BddReorderMode::kOnce:
+      if (reorder_frozen_) return false;
+      [[fallthrough]];
+    case BddReorderMode::kAuto:
+      return live_nodes_ >= (reordered_once_ ? next_auto_reorder_at_
+                                             : options_.reorder_trigger_nodes);
+  }
+  return false;
+}
+
+bool BddManager::Checkpoint() {
+  bool acted = false;
+  if (ReorderTriggered()) {
+    Reorder();  // collects internally
+    acted = true;
+  }
+  if (allocs_since_gc_ >= options_.gc_threshold) {
+    GarbageCollect();
+    acted = true;
+  }
+  return acted;
+}
+
+int BddManager::LevelOfVar(int var) const {
+  SM_REQUIRE(var >= 0 && var < num_vars_, "BDD variable out of range");
+  return static_cast<int>(level_of_var_[static_cast<std::size_t>(var)]);
+}
+
+int BddManager::VarAtLevel(int level) const {
+  SM_REQUIRE(level >= 0 && level < num_vars_, "BDD level out of range");
+  return static_cast<int>(var_at_level_[static_cast<std::size_t>(level)]);
+}
+
+std::vector<int> BddManager::VariableOrder() const {
+  return std::vector<int>(var_at_level_.begin(), var_at_level_.end());
+}
+
 BddStats BddManager::Stats() const {
   BddStats s;
-  s.num_nodes = nodes_.size();
+  s.num_nodes = live_nodes_;
+  s.allocated_nodes = nodes_.size();
+  s.peak_live_nodes = peak_live_nodes_;
+  s.free_nodes = free_count_;
+  s.ext_roots = ext_root_count_;
+  s.gc_runs = gc_runs_;
+  s.gc_reclaimed = gc_reclaimed_;
+  s.reorder_runs = reorder_runs_;
+  s.reorder_swaps = reorder_swaps_;
   s.unique_lookups = unique_lookups_;
   s.unique_probes = unique_probes_;
   s.unique_resizes = unique_resizes_;
@@ -541,6 +1092,68 @@ BddStats BddManager::Stats() const {
   s.cache_capacity = op_cache_.size();
   s.ite_recursions = ite_recursions_;
   return s;
+}
+
+bool BddManager::DebugCheckInvariants() const {
+  // Free list: chained slots are exactly the sentinel-marked ones.
+  std::size_t chain = 0;
+  std::vector<bool> on_chain(nodes_.size(), false);
+  for (std::uint32_t idx = free_head_; idx != 0; idx = nodes_[idx].lo) {
+    if (idx >= nodes_.size() || !IsFreeSlot(idx) || on_chain[idx]) {
+      return false;
+    }
+    on_chain[idx] = true;
+    ++chain;
+  }
+  if (chain != free_count_) return false;
+  std::size_t live = 0;
+  std::size_t free_slots = 0;
+  for (std::size_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (IsFreeSlot(idx)) {
+      if (!on_chain[idx]) return false;
+      ++free_slots;
+      continue;
+    }
+    ++live;
+    const Node& n = nodes_[idx];
+    // Canonical form and reduction.
+    if ((n.hi & kNeg) != 0) return false;
+    if (n.lo == n.hi) return false;
+    if (n.var >= static_cast<std::uint32_t>(num_vars_)) return false;
+    // Children live, strictly below in the current order.
+    for (const Ref child : {n.lo, n.hi}) {
+      const std::size_t ci = IndexOf(child);
+      if (ci >= nodes_.size() || IsFreeSlot(ci)) return false;
+      if (level_of_var_[nodes_[ci].var] <= level_of_var_[n.var]) return false;
+    }
+    // Interned: the unique table must map the node's key to its ref.
+    const std::uint64_t key = UniqueKey(n.var, n.lo, n.hi);
+    const std::size_t mask = unique_.size() - 1;
+    std::size_t i = Mix(key) & mask;
+    for (;;) {
+      if (unique_[i].key == 0) return false;
+      if (unique_[i].key == key) {
+        if (IndexOf(unique_[i].ref) != idx) return false;
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+  if (free_slots != free_count_) return false;
+  if (live + 1 != live_nodes_) return false;  // + the terminal
+  if (live != unique_used_) return false;
+  std::size_t table_entries = 0;
+  for (const UniqueSlot& s : unique_) {
+    if (s.key != 0) ++table_entries;
+  }
+  if (table_entries != unique_used_) return false;
+  // The order permutation is a bijection.
+  for (int v = 0; v < num_vars_; ++v) {
+    const std::uint32_t l = level_of_var_[static_cast<std::size_t>(v)];
+    if (l >= var_at_level_.size()) return false;
+    if (var_at_level_[l] != static_cast<std::uint32_t>(v)) return false;
+  }
+  return true;
 }
 
 }  // namespace sm

@@ -2,8 +2,7 @@
 //
 // speedmask uses BDDs for all *global* (primary-input-space) reasoning: the
 // timed characteristic functions of Sec. 3, SPCF minterm counting, cube
-// essential weights and the formal safety/coverage checks of Sec. 4. Nodes
-// are interned for the manager's lifetime (no garbage collection) and a hard
+// essential weights and the formal safety/coverage checks of Sec. 4. A hard
 // node limit turns pathological growth into a typed exception rather than an
 // OOM.
 //
@@ -26,9 +25,37 @@
 //    all share one cache slot. `Stats()` exposes the work counters the
 //    benches and the SPCF flow report.
 //
-// Variable order equals variable index (0 at the root). Callers choose the
-// index order; the network layer assigns PI indices in declaration order,
-// which matches the generator's locality and keeps BDDs compact.
+// Memory manager v2 — node lifetime and variable order:
+//  - External references: callers that need refs to survive a collection
+//    register them as roots (scoped `BddRef` handles, `BddRootScope` for a
+//    whole vector, `BddRootSource` for owners of many refs such as the
+//    timed-function engine's memo tables). Unregistered refs stay valid
+//    until the next explicit GarbageCollect/Checkpoint/Reorder — Boolean
+//    operations themselves NEVER collect.
+//  - Mark-and-sweep GC over the unique table: marks from the registered
+//    roots, sweeps dead nodes onto a free list (indices are reused, so live
+//    refs are never relocated), rebuilds the unique table, and invalidates
+//    exactly the op-cache entries that touch a swept node.
+//  - Rudell sifting dynamic reordering: adjacent-level swaps rewrite the
+//    affected nodes in place (a node keeps its index and its function, so
+//    registered refs survive), with a deterministic trigger policy set by
+//    `BddManagerOptions::reorder` — kOff, kOnce (sift while the heap is in
+//    its initial growth phase, then freeze the order for the manager's
+//    lifetime) or kAuto (keep sifting whenever the live size doubles).
+//  - `Checkpoint()` is the single safe point: callers invoke it only when
+//    every live ref is reachable from a registered root; the SPCF flow does
+//    so between global-BDD gates and between outputs.
+//  - Everything is a deterministic function of the operation sequence: same
+//    ops + same checkpoints → same node counts, same GC runs, same swaps —
+//    the 1-vs-8-thread byte-identity contracts of the benches hold. GC never
+//    changes BDD structure; a reorder does (it changes variable order), so
+//    flows that must be byte-identical across warm/cold managers keep
+//    reordering off (the default).
+//
+// Variable order starts as variable index (0 at the root) and is permuted
+// only by reordering. Callers choose the index order; the network layer
+// assigns PI indices in declaration order, which matches the generator's
+// locality and keeps BDDs compact.
 #pragma once
 
 #include <cstdint>
@@ -45,11 +72,49 @@ class BddOverflowError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+enum class BddReorderMode {
+  kOff,  // static order (the default; structure is reproducible)
+  // One reordering episode: sift at the trigger and again each time the live
+  // size doubles, until a triggered reorder no longer shrinks the heap
+  // meaningfully (<5%); from then on the order is frozen. Warm managers thus
+  // pay the sifting cost during their first request(s) only.
+  kOnce,
+  kAuto,  // keep sifting whenever the live size doubles since the last pass
+};
+
+const char* ToString(BddReorderMode mode);
+
+struct BddManagerOptions {
+  std::size_t node_limit = 40'000'000;
+  // Caps the operation cache at 2^op_cache_log2 entries; the cache starts
+  // small and grows with the node count up to that ceiling.
+  int op_cache_log2 = 20;
+  // Checkpoint() garbage-collects once this many nodes were allocated since
+  // the previous collection (SIZE_MAX disables GC at checkpoints).
+  std::size_t gc_threshold = 32'768;
+  BddReorderMode reorder = BddReorderMode::kOff;
+  // Live-node count at which kOnce/kAuto fire their (first) sifting pass.
+  std::size_t reorder_trigger_nodes = 4'096;
+  // Global adjacent-swap budget per sifting pass (cost bound).
+  std::size_t max_swaps = 1'000'000;
+  // A variable's sift aborts a direction once the live size exceeds
+  // max_growth × the size when its sift started.
+  double max_growth = 1.2;
+};
+
 // Work counters of one manager, cumulative since construction. All counts
 // are deterministic functions of the operation sequence, so they double as
 // machine-checkable perf metrics (bench/micro_bdd).
 struct BddStats {
-  std::size_t num_nodes = 0;        // interned nodes incl. the ⊤ terminal
+  std::size_t num_nodes = 0;        // live nodes incl. the ⊤ terminal
+  std::size_t allocated_nodes = 0;  // node slots incl. free-listed ones
+  std::size_t peak_live_nodes = 0;  // max live nodes ever
+  std::size_t free_nodes = 0;       // reclaimed slots awaiting reuse
+  std::size_t ext_roots = 0;        // currently registered single-ref roots
+  std::size_t gc_runs = 0;          // mark-and-sweep collections
+  std::size_t gc_reclaimed = 0;     // nodes swept onto the free list
+  std::size_t reorder_runs = 0;     // sifting passes completed
+  std::size_t reorder_swaps = 0;    // adjacent-level swaps performed
   std::size_t unique_lookups = 0;   // MakeNode interning attempts
   std::size_t unique_probes = 0;    // slots inspected across all lookups
   std::size_t unique_resizes = 0;   // geometric doublings performed
@@ -64,6 +129,15 @@ struct BddStats {
   std::size_t ite_recursions = 0;
 };
 
+// Owners of many live refs (memo tables, partially built result vectors)
+// implement this to participate in the mark phase without registering each
+// ref individually.
+class BddRootSource {
+ public:
+  virtual ~BddRootSource() = default;
+  virtual void AppendRoots(std::vector<std::uint32_t>* out) const = 0;
+};
+
 class BddManager {
  public:
   // (node index << 1) | complement bit. The single ⊤ terminal is node 0, so
@@ -73,12 +147,14 @@ class BddManager {
   static constexpr Ref kTrue = 0;
   static constexpr Ref kFalse = 1;
 
-  // `op_cache_log2` caps the operation cache at 2^op_cache_log2 entries;
-  // the cache starts small and grows with the node count up to that ceiling.
+  explicit BddManager(int num_vars, const BddManagerOptions& options);
+  // Legacy signature; equivalent to options with the given node limit and
+  // op-cache ceiling (GC at checkpoints on, reordering off).
   explicit BddManager(int num_vars, std::size_t node_limit = 40'000'000,
                       int op_cache_log2 = 20);
 
   int num_vars() const { return num_vars_; }
+  const BddManagerOptions& options() const { return options_; }
 
   Ref False() const { return kFalse; }
   Ref True() const { return kTrue; }
@@ -115,7 +191,8 @@ class BddManager {
   double Log2SatCount(Ref f, int over_vars = -1);
 
   // One satisfying assignment as (var, value) pairs for the variables on the
-  // chosen path; requires f != False.
+  // chosen path; requires f != False. The chosen path (not its validity)
+  // depends on the current variable order.
   std::vector<std::pair<int, bool>> SatOne(Ref f) const;
 
   std::vector<int> Support(Ref f) const;
@@ -130,13 +207,57 @@ class BddManager {
   Ref Low(Ref f) const;
   Ref High(Ref f) const;
 
-  // Nodes interned so far (including the ⊤ terminal).
-  std::size_t NumNodes() const { return nodes_.size(); }
+  // Live nodes (including the ⊤ terminal); free-listed slots not counted.
+  std::size_t NumNodes() const { return live_nodes_; }
+  // Allocated node slots, live or free (monotone between collections).
+  std::size_t AllocatedNodes() const { return nodes_.size(); }
   // Nodes reachable from f.
   std::size_t DagSize(Ref f) const;
 
+  // ---- External references (GC roots) -----------------------------------
+  // A registered ref (and everything reachable from it) survives GC and
+  // keeps its Ref value across GC and reordering. Register/Unregister must
+  // balance; `BddRef`/`BddRootScope` do so scoped.
+  void RegisterRoot(Ref f);
+  void UnregisterRoot(Ref f);
+  // Cheap already-held audit: is f's node currently pinned by at least one
+  // registered single-ref root?
+  bool IsRegistered(Ref f) const;
+  // The pointed-to vector is scanned at mark time; it may grow/shrink while
+  // registered (entries must be valid refs or constants).
+  void RegisterRootVector(const std::vector<Ref>* roots);
+  void UnregisterRootVector(const std::vector<Ref>* roots);
+  void RegisterRootSource(const BddRootSource* source);
+  void UnregisterRootSource(const BddRootSource* source);
+
+  // ---- Garbage collection and reordering --------------------------------
+  // Mark-and-sweep from the registered roots. Every unregistered ref is
+  // invalidated. Returns the number of nodes reclaimed. Safe to call only
+  // when no unregistered ref is live (no Boolean operation in progress).
+  std::size_t GarbageCollect();
+  // Rudell sifting to convergence: full passes until one shrinks the heap
+  // by less than 2% (at most 8; collects first). Same safety contract as
+  // GarbageCollect. Registered refs keep their values and their functions;
+  // the variable order — and therefore BDD structure, SatOne paths and
+  // DagSize — changes. Under kOnce this may end the reordering episode.
+  void Reorder();
+  // The policy-driven safe point: runs a sifting pass and/or a collection
+  // when the configured triggers fire. Returns true when it did anything.
+  bool Checkpoint();
+
+  // Current position of `var` in the order (0 = root) and its inverse.
+  int LevelOfVar(int var) const;
+  int VarAtLevel(int level) const;
+  // var_at_level as a vector (the full current order, root first).
+  std::vector<int> VariableOrder() const;
+
   // Snapshot of the cumulative work counters.
   BddStats Stats() const;
+
+  // Exhaustive internal consistency check (unique table ↔ node store ↔ free
+  // list ↔ live count ↔ canonical form ↔ level-ordering). O(nodes + slots);
+  // for tests.
+  bool DebugCheckInvariants() const;
 
   // Operation-cache slot hash for the normalized triple (f, g, h). Exposed
   // so tests can assert its collision rate; not part of the BDD semantics.
@@ -170,6 +291,7 @@ class BddManager {
   static constexpr Ref kInvalidRef = ~Ref{0};
   static constexpr Ref kXorTag = ~Ref{0} - 1;
 
+  bool IsFreeSlot(std::size_t index) const;
   Ref MakeNode(std::uint32_t var, Ref lo, Ref hi);
   Ref IteRec(Ref f, Ref g, Ref h);
   Ref XorRec(Ref f, Ref g);
@@ -177,15 +299,28 @@ class BddManager {
   void CacheStore(Ref f, Ref g, Ref h, Ref result);
   void GrowUniqueTable();
   void GrowOpCache();
+  void UniqueInsert(std::uint64_t key, Ref ref);
+  void UniqueErase(std::uint64_t key);
   Ref ExistsRec(Ref f, const std::vector<int>& vars,
                 std::unordered_map<Ref, Ref>& memo);
   Ref ComposeRec(Ref f, int var, Ref g, std::unordered_map<Ref, Ref>& memo);
   double SatFractionRec(Ref f, std::unordered_map<Ref, double>& memo) const;
 
+  // GC helpers.
+  void MarkRoots(std::vector<bool>* marked) const;
+  // Reordering helpers (valid only while reordering_).
+  void BuildReorderScratch();
+  void DropReorderScratch();
+  void SiftPass();
+  void SiftVar(int var, std::size_t pass_budget);
+  void SwapLevels(int level);
+  void DecRefRec(Ref f);
+  bool ReorderTriggered() const;
+
   static std::uint64_t UniqueKey(std::uint32_t var, Ref lo, Ref hi);
 
   int num_vars_;
-  std::size_t node_limit_;
+  BddManagerOptions options_;
   std::size_t op_cache_max_;
   std::vector<Node> nodes_;
 
@@ -196,6 +331,37 @@ class BddManager {
   // Node count at which the op cache next grows; SIZE_MAX once at max size.
   std::size_t cache_grow_at_ = 0;
 
+  // Variable order: level_of_var_ is indexed by variable id (with the
+  // terminal's sentinel id mapping to itself so top-level comparisons need
+  // no branch); var_at_level_ is its inverse over the real variables.
+  std::vector<std::uint32_t> level_of_var_;
+  std::vector<std::uint32_t> var_at_level_;
+
+  // Node lifetime. Free slots carry the terminal's sentinel var and chain
+  // through their lo field (0 = end; the terminal itself is never free).
+  std::uint32_t free_head_ = 0;
+  std::size_t free_count_ = 0;
+  std::size_t live_nodes_ = 0;
+  std::size_t peak_live_nodes_ = 0;
+  std::size_t allocs_since_gc_ = 0;
+
+  // GC roots.
+  std::vector<std::uint32_t> ext_refs_;  // per node index
+  std::size_t ext_root_count_ = 0;
+  std::vector<const std::vector<Ref>*> root_vectors_;
+  std::vector<const BddRootSource*> root_sources_;
+
+  // Reordering state/scratch.
+  bool reordering_ = false;
+  bool reordered_once_ = false;   // at least one reorder has run
+  bool reorder_frozen_ = false;   // kOnce episode over: order is final
+  std::size_t next_auto_reorder_at_ = 0;
+  std::vector<std::uint32_t> ref_count_;  // parent counts, reorder-only
+  std::vector<std::vector<std::uint32_t>> var_nodes_;  // per-var index lists
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::size_t pass_swaps_ = 0;  // swaps used by the running pass
+
   // Work counters (see BddStats).
   std::size_t unique_lookups_ = 0;
   std::size_t unique_probes_ = 0;
@@ -204,6 +370,70 @@ class BddManager {
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
   std::size_t ite_recursions_ = 0;
+  std::size_t gc_runs_ = 0;
+  std::size_t gc_reclaimed_ = 0;
+  std::size_t reorder_runs_ = 0;
+  std::size_t reorder_swaps_ = 0;
+};
+
+// Move-only scoped external reference: registers in the constructor,
+// unregisters in the destructor. The manager must outlive the handle.
+class BddRef {
+ public:
+  BddRef() = default;
+  BddRef(BddManager& mgr, BddManager::Ref ref) : mgr_(&mgr), ref_(ref) {
+    mgr_->RegisterRoot(ref_);
+  }
+  BddRef(BddRef&& other) noexcept : mgr_(other.mgr_), ref_(other.ref_) {
+    other.mgr_ = nullptr;
+  }
+  BddRef& operator=(BddRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      mgr_ = other.mgr_;
+      ref_ = other.ref_;
+      other.mgr_ = nullptr;
+    }
+    return *this;
+  }
+  BddRef(const BddRef&) = delete;
+  BddRef& operator=(const BddRef&) = delete;
+  ~BddRef() { Reset(); }
+
+  void Reset() {
+    if (mgr_ != nullptr) mgr_->UnregisterRoot(ref_);
+    mgr_ = nullptr;
+  }
+  // Re-points the handle (unregisters the old ref, registers the new one).
+  void Assign(BddManager& mgr, BddManager::Ref ref) {
+    mgr.RegisterRoot(ref);  // register first: ref may share the old node
+    Reset();
+    mgr_ = &mgr;
+    ref_ = ref;
+  }
+  BddManager::Ref get() const { return ref_; }
+  bool held() const { return mgr_ != nullptr; }
+
+ private:
+  BddManager* mgr_ = nullptr;
+  BddManager::Ref ref_ = BddManager::kFalse;
+};
+
+// Scoped registration of a caller-owned vector of refs as GC roots. The
+// vector may be mutated while registered; it is scanned at mark time.
+class BddRootScope {
+ public:
+  BddRootScope(BddManager& mgr, const std::vector<BddManager::Ref>* roots)
+      : mgr_(&mgr), roots_(roots) {
+    mgr_->RegisterRootVector(roots_);
+  }
+  BddRootScope(const BddRootScope&) = delete;
+  BddRootScope& operator=(const BddRootScope&) = delete;
+  ~BddRootScope() { mgr_->UnregisterRootVector(roots_); }
+
+ private:
+  BddManager* mgr_;
+  const std::vector<BddManager::Ref>* roots_;
 };
 
 }  // namespace sm

@@ -12,6 +12,10 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       o.smoke = true;
+    } else if (arg == "--reorder") {
+      o.reorder = true;
+    } else if (arg == "--no-reorder") {
+      o.reorder = false;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string value = arg.substr(10);
       char* end = nullptr;
@@ -26,7 +30,8 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     } else {
       SM_REQUIRE(false, "unknown benchmark flag: "
                             << arg
-                            << " (expected --threads=N, --json=PATH, --smoke)");
+                            << " (expected --threads=N, --json=PATH, --smoke, "
+                               "--reorder, --no-reorder)");
     }
   }
   return o;

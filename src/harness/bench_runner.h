@@ -21,11 +21,12 @@ namespace sm {
 struct BenchOptions {
   int threads = 1;        // --threads=N
   bool smoke = false;     // --smoke: reduced circuit list for CI
+  bool reorder = false;   // --reorder / --no-reorder: sifting in the flows
   std::string json_path;  // --json=PATH: machine-readable result dump
 };
 
-// Parses --threads=N, --smoke and --json=PATH; throws std::invalid_argument
-// on an unknown flag or a malformed value.
+// Parses --threads=N, --smoke, --reorder/--no-reorder and --json=PATH;
+// throws std::invalid_argument on an unknown flag or a malformed value.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 // Escapes a string for embedding in a JSON double-quoted literal.

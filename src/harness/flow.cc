@@ -21,8 +21,10 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                                     << " variables but the circuit has "
                                     << ti.NumInputs() << " inputs");
   } else {
+    BddManagerOptions mgr_options = options.bdd_options;
+    mgr_options.node_limit = options.bdd_node_limit;
     owned = std::make_unique<BddManager>(static_cast<int>(ti.NumInputs()),
-                                         options.bdd_node_limit);
+                                         mgr_options);
     mgr = owned.get();
   }
   FlowResult r{std::move(owned),
@@ -36,12 +38,24 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                BddStats{}};
   r.timing = AnalyzeTiming(r.original);
 
-  // 2. SPCF over the mapped gates.
-  std::vector<GateId> groots;
-  for (const auto& o : r.original.outputs()) groots.push_back(o.driver);
-  const auto mapped_globals = BuildMappedGlobalBdds(*mgr, r.original, groots);
-  TimedFunctionEngine engine(*mgr, r.original, mapped_globals);
-  r.spcf = ComputeSpcf(engine, r.original, r.timing, options.spcf);
+  // 2. SPCF over the mapped gates. The engine (and with it the timed χ
+  // memos and the mapped global BDDs) lives only for this phase.
+  {
+    std::vector<GateId> groots;
+    for (const auto& o : r.original.outputs()) groots.push_back(o.driver);
+    const auto mapped_globals =
+        BuildMappedGlobalBdds(*mgr, r.original, groots, /*checkpoint=*/true);
+    TimedFunctionEngine engine(*mgr, r.original, mapped_globals);
+    r.spcf = ComputeSpcf(engine, r.original, r.timing, options.spcf);
+  }
+
+  // Phase boundary: only the SPCF result crosses into synthesis. Pin it and
+  // sweep the dead phase-2 intermediates (χ memos, mapped globals) so wide
+  // circuits do not carry them through the rest of the flow.
+  std::vector<BddManager::Ref> spcf_roots = r.spcf.sigma;
+  spcf_roots.push_back(r.spcf.sigma_union);
+  const BddRootScope spcf_scope(*mgr, &spcf_roots);
+  mgr->GarbageCollect();
 
   // 3. Masking synthesis over the technology-independent network.
   std::vector<NodeId> troots;

@@ -25,6 +25,13 @@ struct FlowOptions {
   std::uint64_t power_seed = 12345;
   int power_words = 64;
   std::size_t bdd_node_limit = 8'000'000;
+  // Memory-manager policy for the flow-owned manager: GC cadence and
+  // dynamic reordering (node_limit is taken from bdd_node_limit above).
+  // Ignored when reuse_manager is set — an external manager keeps its own
+  // options. Reordering changes BDD structure (and therefore the SatOne
+  // cube picks inside masking synthesis), so flows that must be
+  // byte-identical across runs keep it off (the default).
+  BddManagerOptions bdd_options;
   // Optional externally-owned manager to run the flow in; must have
   // num_vars == the circuit's PI count and must outlive the FlowResult.
   // When set, FlowResult.mgr stays null and every ref in the result lives in

@@ -1,13 +1,15 @@
 #include "map/mapped_bdd.h"
 
+#include <optional>
+
 #include "bdd/bdd_util.h"
 #include "util/check.h"
 
 namespace sm {
 
 std::vector<BddManager::Ref> BuildMappedGlobalBdds(
-    BddManager& mgr, const MappedNetlist& net,
-    const std::vector<GateId>& roots) {
+    BddManager& mgr, const MappedNetlist& net, const std::vector<GateId>& roots,
+    bool checkpoint) {
   SM_REQUIRE(mgr.num_vars() >= static_cast<int>(net.NumInputs()),
              "BDD manager too narrow for this netlist");
   // Mark the cone.
@@ -23,6 +25,10 @@ std::vector<BddManager::Ref> BuildMappedGlobalBdds(
     }
   }
   std::vector<BddManager::Ref> global(net.NumElements(), mgr.False());
+  // Checkpoints fire between gates only, so the sole live refs are the
+  // partial globals pinned below (pin copies in `pins` alias them).
+  std::optional<BddRootScope> scope;
+  if (checkpoint) scope.emplace(mgr, &global);
   for (GateId id = 0; id < net.NumElements(); ++id) {
     if (!in_cone[id]) continue;
     if (net.IsInput(id)) {
@@ -34,6 +40,7 @@ std::vector<BddManager::Ref> BuildMappedGlobalBdds(
     pins.reserve(net.fanins(id).size());
     for (GateId f : net.fanins(id)) pins.push_back(global[f]);
     global[id] = TruthTableToBdd(mgr, cell.function(), pins);
+    if (checkpoint) mgr.Checkpoint();
   }
   return global;
 }

@@ -15,8 +15,13 @@ std::vector<BddManager::Ref> BuildMappedGlobalBdds(BddManager& mgr,
 
 // Restricted to the transitive fanin of `roots`; untouched entries remain
 // BddManager::kFalse and must not be used.
+//
+// With `checkpoint` set, the partially-built globals are registered as GC
+// roots and the manager is given a safe point after every gate, so garbage
+// collection and (if enabled on the manager) sifting reordering can act
+// while the peak is forming rather than only after the build completes.
 std::vector<BddManager::Ref> BuildMappedGlobalBdds(
-    BddManager& mgr, const MappedNetlist& net,
-    const std::vector<GateId>& roots);
+    BddManager& mgr, const MappedNetlist& net, const std::vector<GateId>& roots,
+    bool checkpoint = false);
 
 }  // namespace sm

@@ -46,15 +46,25 @@ struct SpeedmaskServer::WorkerContext {
                          std::atomic<std::uint64_t>& resets) {
     auto it = managers.find(num_vars);
     if (it != managers.end() &&
-        it->second->NumNodes() > options.manager_reset_nodes) {
-      managers.erase(it);
-      it = managers.end();
-      resets.fetch_add(1, std::memory_order_relaxed);
+        it->second->NumNodes() > options.manager_gc_nodes) {
+      // Memory manager v2: collect instead of destroying. No roots are
+      // registered between requests, so the sweep reclaims every node of
+      // the finished request while the manager itself — allocated slot
+      // capacity, surviving op-cache entries, work counters — stays warm.
+      it->second->GarbageCollect();
+      if (options.warm_reorder) it->second->Reorder();
+      if (it->second->NumNodes() > options.manager_reset_nodes) {
+        // Only reachable if something left roots registered across
+        // requests; rebuild rather than let the manager pin that memory.
+        Retire(it);
+        it = managers.end();
+        resets.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (it == managers.end()) {
       // Bound the number of distinct widths a worker keeps warm.
       if (managers.size() >= 8) {
-        managers.clear();
+        while (!managers.empty()) Retire(managers.begin());
         resets.fetch_add(1, std::memory_order_relaxed);
       }
       it = managers
@@ -65,7 +75,10 @@ struct SpeedmaskServer::WorkerContext {
     return *it->second;
   }
 
-  void DropManager(int num_vars) { managers.erase(num_vars); }
+  void DropManager(int num_vars) {
+    const auto it = managers.find(num_vars);
+    if (it != managers.end()) Retire(it);
+  }
 
   std::size_t TotalNodes() const {
     std::size_t total = 0;
@@ -73,9 +86,44 @@ struct SpeedmaskServer::WorkerContext {
     return total;
   }
 
+  std::uint64_t TotalGcRuns() const {
+    std::uint64_t total = retired_gc_runs;
+    for (const auto& [vars, mgr] : managers) total += mgr->Stats().gc_runs;
+    return total;
+  }
+
+  std::uint64_t TotalReorderRuns() const {
+    std::uint64_t total = retired_reorder_runs;
+    for (const auto& [vars, mgr] : managers) {
+      total += mgr->Stats().reorder_runs;
+    }
+    return total;
+  }
+
+  void Publish() {
+    published_nodes.store(TotalNodes(), std::memory_order_relaxed);
+    published_gc_runs.store(TotalGcRuns(), std::memory_order_relaxed);
+    published_reorder_runs.store(TotalReorderRuns(),
+                                 std::memory_order_relaxed);
+  }
+
   std::map<int, std::unique_ptr<BddManager>> managers;
+  // Counters of managers dropped by a retire/rebuild, so the cumulative
+  // per-worker stats survive the manager they were accrued in.
+  std::uint64_t retired_gc_runs = 0;
+  std::uint64_t retired_reorder_runs = 0;
   // Published after every job so stats can read without racing the worker.
   std::atomic<std::size_t> published_nodes{0};
+  std::atomic<std::uint64_t> published_gc_runs{0};
+  std::atomic<std::uint64_t> published_reorder_runs{0};
+
+ private:
+  void Retire(std::map<int, std::unique_ptr<BddManager>>::iterator it) {
+    const BddStats s = it->second->Stats();
+    retired_gc_runs += s.gc_runs;
+    retired_reorder_runs += s.reorder_runs;
+    managers.erase(it);
+  }
 };
 
 SpeedmaskServer::SpeedmaskServer(ServerOptions options)
@@ -302,7 +350,7 @@ void SpeedmaskServer::RunAnalysis(std::shared_ptr<Connection> conn,
       response.status = "error";
       response.error = e.what();
     }
-    ctx->published_nodes.store(ctx->TotalNodes(), std::memory_order_relaxed);
+    ctx->Publish();
     ReleaseWorker(ctx);
     if (response.ok()) {
       ok_.fetch_add(1, std::memory_order_relaxed);
@@ -511,7 +559,18 @@ ServiceStatsSnapshot SpeedmaskServer::SnapshotStats() {
   s.workers = options_.num_workers;
   s.manager_resets = manager_resets_.load(std::memory_order_relaxed);
   for (const auto& ctx : worker_contexts_) {
-    s.manager_nodes += ctx->published_nodes.load(std::memory_order_relaxed);
+    const std::size_t nodes =
+        ctx->published_nodes.load(std::memory_order_relaxed);
+    const std::uint64_t gc_runs =
+        ctx->published_gc_runs.load(std::memory_order_relaxed);
+    const std::uint64_t reorder_runs =
+        ctx->published_reorder_runs.load(std::memory_order_relaxed);
+    s.manager_nodes += nodes;
+    s.manager_gc_runs += gc_runs;
+    s.manager_reorder_runs += reorder_runs;
+    s.worker_nodes.push_back(nodes);
+    s.worker_gc_runs.push_back(gc_runs);
+    s.worker_reorder_runs.push_back(reorder_runs);
   }
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
@@ -556,6 +615,17 @@ std::string ServiceStatsSnapshot::ToResultJson() const {
   obj.Set("workers", workers);
   obj.Set("manager_resets", manager_resets);
   obj.Set("manager_nodes", manager_nodes);
+  obj.Set("manager_gc_runs", manager_gc_runs);
+  obj.Set("manager_reorder_runs", manager_reorder_runs);
+  Json worker_arr = Json::MakeArray();
+  for (std::size_t i = 0; i < worker_nodes.size(); ++i) {
+    Json w = Json::MakeObject();
+    w.Set("nodes", worker_nodes[i]);
+    w.Set("gc_runs", worker_gc_runs[i]);
+    w.Set("reorder_runs", worker_reorder_runs[i]);
+    worker_arr.Append(std::move(w));
+  }
+  obj.Set("worker_managers", std::move(worker_arr));
   Json latency = Json::MakeObject();
   latency.Set("p50_ms", p50_ms);
   latency.Set("p99_ms", p99_ms);

@@ -63,10 +63,22 @@ struct ServerOptions {
   // long instead of wedging a worker thread forever. 0 disables.
   int write_timeout_ms = 10'000;
   std::size_t bdd_node_limit = 8'000'000;
-  // A worker manager whose unique table grew beyond this many nodes is
-  // rebuilt before its next request (bounds daemon memory under a stream of
-  // ever-different circuits; repeated circuits stay warm).
+  // A worker manager holding more live nodes than this is garbage-collected
+  // before its next request. Nothing is registered between requests, so the
+  // collection reclaims everything while keeping the manager itself warm —
+  // allocated node capacity, the surviving op cache and its work counters
+  // all persist (bounds daemon memory under a stream of ever-different
+  // circuits without the old destroy-and-rebuild).
+  std::size_t manager_gc_nodes = 1'000'000;
+  // Escape hatch: a manager still above this many live nodes *after* a
+  // collection (i.e. something kept roots registered) is rebuilt. With the
+  // GC path this should never fire; the manager_resets stat counts it.
   std::size_t manager_reset_nodes = 4'000'000;
+  // Run one sifting pass on a warm manager after each over-threshold GC.
+  // Reordering changes BDD structure (and the SatOne cube picks downstream),
+  // so cold-vs-warm byte identity of synthesized results is lost — keep off
+  // unless clients only compare semantic numbers.
+  bool warm_reorder = false;
 };
 
 struct ServiceStatsSnapshot {
@@ -83,7 +95,13 @@ struct ServiceStatsSnapshot {
   std::size_t queue_capacity = 0;
   int workers = 0;
   std::uint64_t manager_resets = 0;
-  std::size_t manager_nodes = 0;  // interned nodes across worker managers
+  std::size_t manager_nodes = 0;  // live nodes across worker managers
+  std::uint64_t manager_gc_runs = 0;       // collections across workers
+  std::uint64_t manager_reorder_runs = 0;  // sifting passes across workers
+  // Per-worker warm-manager telemetry, indexed by worker slot.
+  std::vector<std::size_t> worker_nodes;
+  std::vector<std::uint64_t> worker_gc_runs;
+  std::vector<std::uint64_t> worker_reorder_runs;
   double p50_ms = 0;
   double p99_ms = 0;
   std::uint64_t latency_samples = 0;

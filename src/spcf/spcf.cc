@@ -33,6 +33,13 @@ SpcfResult ComputeSpcf(TimedFunctionEngine& engine, const MappedNetlist& net,
   r.sigma.assign(net.NumOutputs(), mgr.False());
   r.sigma_union = mgr.False();
 
+  // GC safe points between outputs: the per-output SPCFs computed so far and
+  // the running union are pinned here; the engine pins its own memo tables
+  // (it is a registered BddRootSource). Everything else is garbage.
+  std::vector<BddManager::Ref> pinned{r.sigma_union};
+  const BddRootScope sigma_scope(mgr, &r.sigma);
+  const BddRootScope union_scope(mgr, &pinned);
+
   for (std::size_t i = 0; i < net.NumOutputs(); ++i) {
     const GateId y = net.output(i).driver;
     BddManager::Ref sigma;
@@ -64,6 +71,8 @@ SpcfResult ComputeSpcf(TimedFunctionEngine& engine, const MappedNetlist& net,
     r.sigma[i] = sigma;
     if (sigma != mgr.False()) r.critical_outputs.push_back(i);
     r.sigma_union = mgr.Or(r.sigma_union, sigma);
+    pinned[0] = r.sigma_union;
+    mgr.Checkpoint();
   }
 
   r.critical_minterms =
@@ -82,7 +91,7 @@ SpcfResult ComputeSpcf(BddManager& mgr, const MappedNetlist& net,
   roots.reserve(net.NumOutputs());
   for (const auto& o : net.outputs()) roots.push_back(o.driver);
   const std::vector<BddManager::Ref> global =
-      BuildMappedGlobalBdds(mgr, net, roots);
+      BuildMappedGlobalBdds(mgr, net, roots, /*checkpoint=*/true);
   TimedFunctionEngine engine(mgr, net, global);
   return ComputeSpcf(engine, net, timing, options);
 }

@@ -45,6 +45,17 @@ TimedFunctionEngine::TimedFunctionEngine(
     max_arr_[id] = max_a;
     min_arr_[id] = min_a;
   }
+  mgr_.RegisterRootSource(this);
+}
+
+TimedFunctionEngine::~TimedFunctionEngine() { mgr_.UnregisterRootSource(this); }
+
+void TimedFunctionEngine::AppendRoots(
+    std::vector<BddManager::Ref>* out) const {
+  out->insert(out->end(), global_.begin(), global_.end());
+  for (const auto& kv : chi_memo_) out->push_back(kv.second);
+  for (const auto& kv : long_memo_) out->push_back(kv.second);
+  for (const auto& kv : node_memo_) out->push_back(kv.second);
 }
 
 std::int64_t TimedFunctionEngine::ToTicks(double t) {

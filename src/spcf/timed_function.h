@@ -36,7 +36,7 @@
 
 namespace sm {
 
-class TimedFunctionEngine {
+class TimedFunctionEngine : public BddRootSource {
  public:
   // `global` must contain the global BDD of every element in the transitive
   // fanin of anything the caller will query. `mgr`, `net` and `global` must
@@ -45,6 +45,14 @@ class TimedFunctionEngine {
   TimedFunctionEngine(BddManager& mgr, const MappedNetlist& net,
                       const std::vector<BddManager::Ref>& global,
                       const std::vector<double>* delay_scale = nullptr);
+  // The engine registers itself as a GC root source for its lifetime: the
+  // memoized χ functions and the global BDDs it references survive any
+  // Checkpoint/GarbageCollect a caller runs between queries.
+  ~TimedFunctionEngine() override;
+  TimedFunctionEngine(const TimedFunctionEngine&) = delete;
+  TimedFunctionEngine& operator=(const TimedFunctionEngine&) = delete;
+
+  void AppendRoots(std::vector<BddManager::Ref>* out) const override;
 
   static constexpr std::int64_t kTicksPerUnit = 1000;
   static std::int64_t ToTicks(double t);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "bdd/bdd.h"
@@ -353,6 +355,226 @@ TEST(BddUtil, CompositionThroughIntermediateFunctions) {
   Sop g(2, {Cube::Literal(0, true).Intersect(Cube::Literal(1, true))});
   const Ref composed = SopToBdd(mgr, g, {u, v});
   EXPECT_EQ(composed, mgr.And(u, v));
+}
+
+// --- memory manager v2: GC, external refs, sifting reordering ------------
+
+// Deterministic multi-cube function over `width` variables; distinct seeds
+// give distinct functions with shared subgraphs.
+Ref BuildSop(BddManager& mgr, int width, int cubes, unsigned seed) {
+  Ref f = mgr.False();
+  for (int i = 0; i < cubes; ++i) {
+    Ref cube = mgr.True();
+    for (int j = 0; j < 4; ++j) {
+      const int var =
+          static_cast<int>((seed + 13u * static_cast<unsigned>(i) +
+                            29u * static_cast<unsigned>(j)) %
+                           static_cast<unsigned>(width));
+      const Ref lit =
+          ((i + j + static_cast<int>(seed)) % 2) != 0 ? mgr.NotVar(var)
+                                                      : mgr.Var(var);
+      cube = mgr.And(cube, lit);
+    }
+    f = mgr.Or(f, cube);
+  }
+  return f;
+}
+
+TEST(BddGc, HeldRefsSurviveSweepAndDroppedNodesAreReclaimed) {
+  BddManager mgr(32);
+  const BddRef held(mgr, BuildSop(mgr, 32, 24, 7));
+  const double held_count = mgr.SatCount(held.get());
+  ASSERT_TRUE(mgr.IsRegistered(held.get()));
+
+  // A pile of unregistered intermediates: garbage after the refs go out of
+  // use (ops never collect, so they survive until the explicit sweep).
+  for (unsigned s = 100; s < 110; ++s) BuildSop(mgr, 32, 16, s);
+  const std::size_t before = mgr.NumNodes();
+  const std::size_t reclaimed = mgr.GarbageCollect();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(mgr.NumNodes(), before - reclaimed);
+  EXPECT_GT(mgr.Stats().free_nodes, 0u);
+  EXPECT_TRUE(mgr.DebugCheckInvariants());
+
+  // The held function is untouched — same ref, same semantics — and the op
+  // cache was invalidated: rebuilding the identical function re-interns to
+  // the identical ref, never to a stale freed slot.
+  EXPECT_EQ(mgr.SatCount(held.get()), held_count);
+  EXPECT_EQ(BuildSop(mgr, 32, 24, 7), held.get());
+
+  // Free-listed slots are reused: rebuilding garbage does not grow the store.
+  const std::size_t allocated = mgr.AllocatedNodes();
+  BuildSop(mgr, 32, 16, 100);
+  EXPECT_EQ(mgr.AllocatedNodes(), allocated);
+}
+
+TEST(BddGc, CheckpointHonorsGcThresholdAndRootVectors) {
+  BddManagerOptions mo;
+  mo.gc_threshold = 64;
+  BddManager mgr(32, mo);
+  std::vector<Ref> roots{mgr.False()};
+  const BddRootScope scope(mgr, &roots);
+  for (unsigned s = 0; s < 16; ++s) {
+    roots[0] = mgr.Or(roots[0], BuildSop(mgr, 32, 8, s));
+    mgr.Checkpoint();
+  }
+  const BddStats s = mgr.Stats();
+  EXPECT_GE(s.gc_runs, 1u);
+  EXPECT_GT(s.gc_reclaimed, 0u);
+  EXPECT_LT(s.peak_live_nodes, s.gc_reclaimed + s.num_nodes + 1);
+  EXPECT_TRUE(mgr.DebugCheckInvariants());
+  // The running union stayed pinned through every sweep.
+  EXPECT_GT(mgr.SatCount(roots[0]), 0.0);
+}
+
+TEST(BddGc, BddRefMoveAndAssignKeepRegistrationBalanced) {
+  BddManager mgr(8);
+  BddRef a(mgr, mgr.And(mgr.Var(0), mgr.Var(1)));
+  EXPECT_EQ(mgr.Stats().ext_roots, 1u);
+  BddRef b = std::move(a);
+  EXPECT_EQ(mgr.Stats().ext_roots, 1u);
+  EXPECT_TRUE(b.held());
+  EXPECT_FALSE(a.held());  // NOLINT(bugprone-use-after-move): post-move state
+
+  // Assign re-points atomically even when old and new share a node.
+  b.Assign(mgr, mgr.Not(b.get()));
+  EXPECT_EQ(mgr.Stats().ext_roots, 1u);
+  EXPECT_TRUE(mgr.IsRegistered(b.get()));
+  b.Reset();
+  EXPECT_EQ(mgr.Stats().ext_roots, 0u);
+}
+
+TEST(BddReorder, SiftingPreservesSemanticsOnRandomVectors) {
+  BddManager mgr(24);
+  std::vector<Ref> roots;
+  roots.push_back(BuildSop(mgr, 24, 32, 3));
+  roots.push_back(BuildSop(mgr, 24, 32, 11));
+  roots.push_back(mgr.Xor(roots[0], roots[1]));
+  const BddRootScope scope(mgr, &roots);
+
+  // Reference semantics from an untouched manager running the same ops.
+  BddManager ref_mgr(24);
+  const Ref r0 = BuildSop(ref_mgr, 24, 32, 3);
+  const Ref r1 = BuildSop(ref_mgr, 24, 32, 11);
+  const Ref r2 = ref_mgr.Xor(r0, r1);
+
+  mgr.Reorder();
+  EXPECT_GE(mgr.Stats().reorder_runs, 1u);
+  EXPECT_GT(mgr.Stats().reorder_swaps, 0u);
+  EXPECT_TRUE(mgr.DebugCheckInvariants());
+
+  // The order is now a (generally nontrivial) permutation…
+  std::vector<int> order = mgr.VariableOrder();
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int v = 0; v < 24; ++v) EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+
+  // …but every function is untouched: Eval agrees with the reference
+  // manager on random vectors, and the counts match exactly.
+  Rng rng(0xBDDu);
+  std::vector<bool> values(24);
+  for (int t = 0; t < 2000; ++t) {
+    for (int v = 0; v < 24; ++v) {
+      values[static_cast<std::size_t>(v)] = (rng.Next() & 1u) != 0;
+    }
+    EXPECT_EQ(mgr.Eval(roots[0], values), ref_mgr.Eval(r0, values));
+    EXPECT_EQ(mgr.Eval(roots[1], values), ref_mgr.Eval(r1, values));
+    EXPECT_EQ(mgr.Eval(roots[2], values), ref_mgr.Eval(r2, values));
+  }
+  EXPECT_EQ(mgr.SatCount(roots[2]), ref_mgr.SatCount(r2));
+
+  // Operations keep working after the reorder (the op cache was dropped).
+  EXPECT_EQ(mgr.Xor(roots[0], roots[1]), roots[2]);
+}
+
+TEST(BddReorder, TriggeredEpisodeIsDeterministic) {
+  BddManagerOptions mo;
+  mo.reorder = BddReorderMode::kOnce;
+  mo.reorder_trigger_nodes = 128;
+  mo.gc_threshold = 256;
+  const auto drive = [&mo]() {
+    auto mgr = std::make_unique<BddManager>(32, mo);
+    std::vector<Ref> roots{mgr->False()};
+    const BddRootScope scope(*mgr, &roots);
+    for (unsigned s = 0; s < 24; ++s) {
+      roots[0] = mgr->Or(roots[0], BuildSop(*mgr, 32, 12, s * 17u + 1));
+      mgr->Checkpoint();
+    }
+    return std::make_pair(std::move(mgr), roots[0]);
+  };
+  auto [m1, f1] = drive();
+  auto [m2, f2] = drive();
+
+  // Same ops + same checkpoints → the same episode: identical refs, node
+  // counts, GC and reorder counters, swap counts and final variable order.
+  EXPECT_EQ(f1, f2);
+  const BddStats s1 = m1->Stats();
+  const BddStats s2 = m2->Stats();
+  EXPECT_GE(s1.reorder_runs, 1u);
+  EXPECT_EQ(s1.num_nodes, s2.num_nodes);
+  EXPECT_EQ(s1.peak_live_nodes, s2.peak_live_nodes);
+  EXPECT_EQ(s1.allocated_nodes, s2.allocated_nodes);
+  EXPECT_EQ(s1.gc_runs, s2.gc_runs);
+  EXPECT_EQ(s1.gc_reclaimed, s2.gc_reclaimed);
+  EXPECT_EQ(s1.reorder_runs, s2.reorder_runs);
+  EXPECT_EQ(s1.reorder_swaps, s2.reorder_swaps);
+  EXPECT_EQ(m1->VariableOrder(), m2->VariableOrder());
+}
+
+TEST(BddReorder, OnceFreezesAutoKeepsAdapting) {
+  // Grow in phases; kOnce must stop reordering after its episode converges,
+  // kAuto must keep firing on every live-size doubling.
+  BddManagerOptions once;
+  once.reorder = BddReorderMode::kOnce;
+  once.reorder_trigger_nodes = 64;
+  BddManager mgr(32, once);
+  std::vector<Ref> roots{mgr.False()};
+  const BddRootScope scope(mgr, &roots);
+  for (unsigned s = 0; s < 40; ++s) {
+    roots[0] = mgr.Or(roots[0], BuildSop(mgr, 32, 10, s * 31u + 5));
+    mgr.Checkpoint();
+  }
+  const std::size_t episode_runs = mgr.Stats().reorder_runs;
+  EXPECT_GE(episode_runs, 1u);
+  // Push well past another doubling: a frozen manager must not reorder.
+  const std::size_t live_after = mgr.NumNodes();
+  for (unsigned s = 200; s < 260; ++s) {
+    roots[0] = mgr.Or(roots[0], BuildSop(mgr, 32, 10, s * 31u + 5));
+    mgr.Checkpoint();
+    if (mgr.NumNodes() > 4 * live_after) break;
+  }
+  EXPECT_EQ(mgr.Stats().reorder_runs, episode_runs);
+}
+
+TEST(BddGc, OverflowedManagerRecoversThroughGc) {
+  // Satellite regression: the node limit is checked before insertion, so an
+  // overflowing manager is not left partially grown — and once garbage is
+  // swept, the freed slots make room under the same limit.
+  BddManagerOptions mo;
+  mo.node_limit = 160;
+  BddManager mgr(24, mo);
+  std::vector<Ref> roots{mgr.And(mgr.Var(0), mgr.Var(1))};
+  const BddRootScope scope(mgr, &roots);
+  bool overflowed = false;
+  try {
+    Ref f = mgr.True();
+    for (int v = 0; v < 24; ++v) {
+      f = mgr.Xor(f, mgr.And(mgr.Var(v), mgr.Var((v + 7) % 24)));
+    }
+  } catch (const BddOverflowError&) {
+    overflowed = true;
+  }
+  ASSERT_TRUE(overflowed);
+  EXPECT_LE(mgr.NumNodes(), 160u);
+
+  EXPECT_GT(mgr.GarbageCollect(), 0u);
+  EXPECT_TRUE(mgr.DebugCheckInvariants());
+  // Headroom is back: fresh work fits (reusing freed slots) and the pinned
+  // function still evaluates.
+  const Ref g = mgr.Or(mgr.And(mgr.Var(2), mgr.Var(3)), roots[0]);
+  EXPECT_LE(mgr.NumNodes(), 160u);
+  EXPECT_TRUE(mgr.Eval(g, std::vector<bool>(24, true)));
+  EXPECT_DOUBLE_EQ(mgr.SatFraction(roots[0]), 0.25);
 }
 
 }  // namespace

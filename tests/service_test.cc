@@ -514,6 +514,70 @@ TEST(Service, OverloadAndGracefulDrain) {
   EXPECT_EQ(stats.queue_depth, 0u);
 }
 
+TEST(Service, WarmManagerSurvivesGcInsteadOfReset) {
+  // Force the memory-manager-v2 path on every request: with the threshold at
+  // one node, any manager that has served a request is over it, so the next
+  // request for the same width garbage-collects the warm manager in place.
+  // Before the mark-and-sweep collector this situation destroyed and rebuilt
+  // the manager (counted by manager_resets) — assert that no longer happens.
+  ServerOptions options;
+  options.socket_path = TestSocket("warm");
+  options.num_workers = 1;
+  options.manager_gc_nodes = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+  std::string warm_bytes;
+  {
+    ServiceClient client(options.socket_path);
+    const ServiceResponse cold = client.AnalyzeSpcf("cmb", 0.1);
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    // A different guard band is a cache miss, so the same worker's warm
+    // manager computes it — after being collected on the way in.
+    const ServiceResponse warm = client.AnalyzeSpcf("cmb", 0.15);
+    ASSERT_TRUE(warm.ok()) << warm.error;
+    warm_bytes = warm.result_json;
+
+    // The stats method exposes the per-worker warm-manager telemetry.
+    const Json stats = Json::Parse(client.Stats().result_json);
+    EXPECT_EQ(stats.GetUint64("manager_resets", 99), 0u);
+    EXPECT_GE(stats.GetUint64("manager_gc_runs", 0), 1u);
+    const Json* workers = stats.Find("worker_managers");
+    ASSERT_TRUE(workers != nullptr && workers->is_array());
+    ASSERT_EQ(workers->AsArray().size(), 1u);
+    const Json& w = workers->AsArray()[0];
+    EXPECT_GE(w.GetUint64("gc_runs", 0), 1u);
+    EXPECT_GE(w.GetUint64("nodes", 0), 1u);  // terminal is always live
+    EXPECT_EQ(w.GetUint64("reorder_runs", 99), 0u);  // warm_reorder is off
+
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  server.Wait();
+
+  // Same story through the typed snapshot: the worker's manager was
+  // collected at least once and never torn down.
+  const ServiceStatsSnapshot snap = server.SnapshotStats();
+  EXPECT_EQ(snap.manager_resets, 0u);
+  EXPECT_GE(snap.manager_gc_runs, 1u);
+  ASSERT_EQ(snap.worker_gc_runs.size(), 1u);
+  EXPECT_GE(snap.worker_gc_runs[0], 1u);
+
+  // The GC is structure-neutral: a fresh daemon computing only the second
+  // request cold produces byte-identical result bytes.
+  ServerOptions cold_options;
+  cold_options.socket_path = TestSocket("warm_cold");
+  cold_options.num_workers = 1;
+  SpeedmaskServer cold_server(cold_options);
+  cold_server.Start();
+  {
+    ServiceClient client(cold_options.socket_path);
+    const ServiceResponse cold = client.AnalyzeSpcf("cmb", 0.15);
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    EXPECT_EQ(cold.result_json, warm_bytes);
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  cold_server.Wait();
+}
+
 // ---------------------------------------------------------------------------
 // Retry policy
 // ---------------------------------------------------------------------------
