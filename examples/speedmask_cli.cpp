@@ -20,10 +20,19 @@
 //       run the masking flow, then a timing-fault injection campaign against
 //       the protected netlist; nonzero exit on any escape. --repro-dir dumps
 //       shrunk escape reproducers (BLIF + JSON) into an existing directory.
+//   speedmask_cli optimize <circuit> [--target-yield <y>] [--population <n>]
+//                  [--generations <n>] [--seed <n>] [--threads <n>]
+//                  [--trials <n>] [--sigma <s>] [--no-spot-check]
+//                  [--via-daemon [--socket <path>]] [--json <path>]
+//       run the closed-loop Pareto search over protection scope × guard
+//       band × synthesis effort and print the canonical front JSON.
+//       --via-daemon evaluates candidates through a running analysis
+//       daemon instead of in-process (byte-identical front, named
+//       circuits only).
 //   speedmask_cli serve [--socket <path>] [--workers <n>]
 //       run the analysis daemon until a client sends `shutdown`.
 //   speedmask_cli submit <circuit> [--socket <path>]
-//                  [--method spcf|flow|yield|inject]
+//                  [--method spcf|flow|yield|inject|optimize]
 //                  [--guard <frac>] [--algo node|path|short]
 //                  [--trials <n>] [--sigma <s>] [--seed <n>]
 //                  [--strategy exhaustive|random|adversarial]
@@ -44,6 +53,7 @@
 
 #include "harness/flow.h"
 #include "harness/inject.h"
+#include "harness/optimize.h"
 #include "liblib/lsi10k.h"
 #include "map/netlist_io.h"
 #include "network/blif.h"
@@ -301,12 +311,80 @@ int CmdServe(std::vector<std::string> args) {
   return 0;
 }
 
+int CmdOptimize(std::vector<std::string> args) {
+  if (args.empty()) {
+    std::cerr << "usage: speedmask_cli optimize <circuit> "
+                 "[--target-yield <y>] [--population <n>] "
+                 "[--generations <n>] [--seed <n>] [--threads <n>] "
+                 "[--trials <n>] [--sigma <s>] [--no-spot-check] "
+                 "[--via-daemon [--socket <path>]] [--json <path>]\n";
+    return 2;
+  }
+  OptimizerOptions options;
+  options.target_yield =
+      std::stod(GetFlag(args, "--target-yield").value_or("0.95"));
+  options.population =
+      std::stoull(GetFlag(args, "--population").value_or("16"));
+  options.generations =
+      std::stoull(GetFlag(args, "--generations").value_or("6"));
+  options.seed = std::stoull(GetFlag(args, "--seed").value_or("2009"));
+  options.threads = std::stoi(GetFlag(args, "--threads").value_or("1"));
+  options.spot_check = !GetSwitch(args, "--no-spot-check");
+  OptEvalConfig config;
+  config.yield_trials =
+      std::stoull(GetFlag(args, "--trials").value_or("1500"));
+  config.sigma = std::stod(GetFlag(args, "--sigma").value_or("0.05"));
+  const std::string socket =
+      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+  const bool via_daemon = GetSwitch(args, "--via-daemon");
+  const auto json_path = GetFlag(args, "--json");
+
+  const std::string& spec = args[0];
+  const Network net = LoadCircuit(spec);
+  OptimizeResult result;
+  if (via_daemon) {
+    if (spec.find('.') != std::string::npos ||
+        spec.find('/') != std::string::npos) {
+      // BLIF round-trips are not structure-preserving, so only a named
+      // circuit resolves to the identical network on both sides.
+      std::cerr << "--via-daemon needs a named paper circuit, not a file\n";
+      return 2;
+    }
+    auto client = ServiceClient::ConnectWithRetry(socket);
+    DaemonEvaluator evaluator(*client, spec, net, config);
+    result = RunMaskingOptimizer(evaluator, options);
+  } else {
+    const Library lib = Lsi10kLike();
+    result = OptimizeCircuit(net, lib, options, config);
+  }
+
+  const std::string json = EncodeParetoFrontJson(net.name(), options, result);
+  std::cout << json << "\n";
+  if (json_path) {
+    std::ofstream f(*json_path);
+    f << json << "\n";
+    std::cerr << "wrote " << *json_path << "\n";
+  }
+  std::cerr << result.distinct_evaluations << " evaluations, "
+            << result.feasible << " feasible, front " << result.front.size()
+            << " (spot checks " << result.spot_checks << ", failures "
+            << result.spot_failures << ") in " << result.seconds << "s\n";
+  if (result.baseline.ok && !result.front.empty()) {
+    const OptEvaluation& best = result.front.front().eval;
+    std::cerr << "baseline overhead " << result.baseline.Overhead()
+              << "% @ yield " << result.baseline.yield_protected
+              << " -> cheapest front point " << best.Overhead() << "% @ yield "
+              << best.yield_protected << "\n";
+  }
+  return 0;
+}
+
 int CmdSubmit(std::vector<std::string> args) {
   if (args.empty()) {
     std::cerr << "usage: speedmask_cli submit <circuit> [--socket <path>] "
-                 "[--method spcf|flow|yield] [--guard <frac>] "
-                 "[--algo node|path|short] [--trials <n>] [--sigma <s>] "
-                 "[--seed <n>]\n";
+                 "[--method spcf|flow|yield|inject|optimize] "
+                 "[--guard <frac>] [--algo node|path|short] [--trials <n>] "
+                 "[--sigma <s>] [--seed <n>]\n";
     return 2;
   }
   const std::string socket =
@@ -323,6 +401,8 @@ int CmdSubmit(std::vector<std::string> args) {
     request.method = ServiceMethod::kEstimateYield;
   } else if (method == "inject") {
     request.method = ServiceMethod::kInjectCampaign;
+  } else if (method == "optimize") {
+    request.method = ServiceMethod::kOptimizeMasking;
   } else {
     std::cerr << "unknown method: " << method << "\n";
     return 2;
@@ -361,6 +441,12 @@ int CmdSubmit(std::vector<std::string> args) {
       FaultKindFromString(GetFlag(args, "--fault").value_or("permanent"));
   request.sites = std::stoull(GetFlag(args, "--sites").value_or("0"));
   request.vectors = std::stoull(GetFlag(args, "--vectors").value_or("24"));
+  request.target_yield =
+      std::stod(GetFlag(args, "--target-yield").value_or("0.95"));
+  request.population =
+      std::stoull(GetFlag(args, "--population").value_or("16"));
+  request.generations =
+      std::stoull(GetFlag(args, "--generations").value_or("6"));
 
   // Campaign submissions ride out a briefly saturated daemon instead of
   // failing on the first "overloaded".
@@ -401,8 +487,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     std::cerr << "usage: speedmask_cli "
-                 "<list|gen|spcf|flow|inject|serve|submit|stats|shutdown> "
-                 "...\n";
+                 "<list|gen|spcf|flow|inject|optimize|serve|submit|stats|"
+                 "shutdown> ...\n";
     return 2;
   }
   const std::string cmd = args[0];
@@ -413,6 +499,7 @@ int main(int argc, char** argv) {
     if (cmd == "spcf") return CmdSpcf(std::move(args));
     if (cmd == "flow") return CmdFlow(std::move(args));
     if (cmd == "inject") return CmdInject(std::move(args));
+    if (cmd == "optimize") return CmdOptimize(std::move(args));
     if (cmd == "serve") return CmdServe(std::move(args));
     if (cmd == "submit") return CmdSubmit(std::move(args));
     if (cmd == "stats") return CmdStats(std::move(args));

@@ -1,10 +1,23 @@
 #include "harness/flow.h"
 
+#include <cmath>
+
 #include "map/mapped_bdd.h"
 #include "network/global_bdd.h"
 #include "util/check.h"
 
 namespace sm {
+
+void ValidateFlowOptions(const FlowOptions& options, std::size_t num_outputs) {
+  SM_REQUIRE(std::isfinite(options.spcf.guard_band) &&
+                 options.spcf.guard_band >= 0 && options.spcf.guard_band < 1,
+             "guard-band fraction must be finite and in [0, 1), got "
+                 << options.spcf.guard_band);
+  SM_REQUIRE(options.power_words > 0,
+             "power_words must be positive, got " << options.power_words);
+  SM_REQUIRE(options.bdd_node_limit > 0, "bdd_node_limit must be positive");
+  ValidateMaskingSynthOptions(options.synth, num_outputs);
+}
 
 FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                                    const Network& ti, const Library& lib,
@@ -13,6 +26,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                  original.NumOutputs() == ti.NumOutputs(),
              "mapped circuit and technology-independent network must share "
              "the PI/PO interface");
+  ValidateFlowOptions(options, ti.NumOutputs());
   std::unique_ptr<BddManager> owned;
   BddManager* mgr = options.reuse_manager;
   if (mgr != nullptr) {
@@ -72,6 +86,10 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
   r.verification = VerifyMasking(*mgr, ti, ti_globals, r.masking, r.spcf);
   r.overheads = ComputeOverheads(r.original, r.protected_circuit,
                                  options.power_seed, options.power_words);
+  // ComputeOverheads only sees the protected netlist, so it equates
+  // critical with protected; under a partial scope the critical count comes
+  // from the SPCF.
+  r.overheads.critical_outputs = r.spcf.critical_outputs.size();
   r.overheads.critical_minterms = r.spcf.critical_minterms;
   r.overheads.log2_critical_minterms = r.spcf.log2_critical_minterms;
   r.overheads.coverage_100 =

@@ -59,6 +59,13 @@ struct FlowResult {
   BddStats bdd;
 };
 
+// Precondition checks for a flow configuration: guard-band fraction finite
+// and in [0, 1), positive power/BDD budgets, and a valid synthesis scope
+// (ValidateMaskingSynthOptions). Run by both flow entry points before any
+// work, so optimizer-generated configs fail loudly instead of producing
+// silently-unprotected flows. Throws std::invalid_argument.
+void ValidateFlowOptions(const FlowOptions& options, std::size_t num_outputs);
+
 // `lib` must outlive the result. Throws BddOverflowError when the circuit's
 // global functions exceed the node limit.
 FlowResult RunMaskingFlow(const Network& ti, const Library& lib,

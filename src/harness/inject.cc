@@ -47,6 +47,14 @@ InjectionCampaignResult RunFaultInjectionCampaign(
   InjectOptions resolved = options;
   if (resolved.clock < 0) resolved.clock = flow.timing.critical_delay;
   resolved.guard_band = FlowGuardBand(flow);
+  // Under a partial protection scope, errors at critical-but-unprotected
+  // outputs are accepted risk (quantified by the MC yield engine), not
+  // guarantee violations — waive them so the campaign attacks exactly the
+  // claim the flow shipped. Protect-all flows leave this empty. An explicit
+  // caller-provided list wins.
+  if (resolved.waived_outputs.empty()) {
+    resolved.waived_outputs = flow.verification.unprotected_critical;
+  }
   return RunInjectionCampaign(flow.original, flow.protected_circuit,
                               resolved);
 }

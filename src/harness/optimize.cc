@@ -1,0 +1,277 @@
+#include "harness/optimize.h"
+
+#include <cmath>
+
+#include "harness/bench_runner.h"
+#include "harness/inject.h"
+#include "harness/yield.h"
+#include "map/tech_map.h"
+#include "service/json.h"
+#include "spcf/spcf.h"
+#include "sta/sta.h"
+#include "util/check.h"
+
+namespace sm {
+
+void ValidateOptEvalConfig(const OptEvalConfig& config) {
+  SM_REQUIRE(config.yield_trials > 0, "yield_trials must be positive");
+  SM_REQUIRE(std::isfinite(config.sigma) && config.sigma > 0,
+             "sigma must be positive and finite, got " << config.sigma);
+  SM_REQUIRE(config.spot_sites > 0, "spot_sites must be positive");
+  SM_REQUIRE(config.spot_vectors > 0, "spot_vectors must be positive");
+}
+
+InProcessEvaluator::InProcessEvaluator(const Network& ti, const Library& lib,
+                                       const OptEvalConfig& config)
+    : ti_(ti), lib_(lib), config_(config) {
+  ValidateOptEvalConfig(config_);
+  // Map once; every candidate flow reuses the same circuit C (the paper's
+  // area-mode baseline), exactly as RunMaskingFlow would rebuild it.
+  mapped_ = DecomposeAndMap(ti_, lib_, TechMapOptions{}).netlist;
+  timing_ = AnalyzeTiming(mapped_);
+}
+
+std::size_t InProcessEvaluator::NumOutputs() { return ti_.NumOutputs(); }
+
+std::vector<std::size_t> InProcessEvaluator::CriticalOutputs(double guard) {
+  BddManager mgr(static_cast<int>(ti_.NumInputs()),
+                 FlowOptions{}.bdd_node_limit);
+  SpcfOptions options;
+  options.guard_band = guard;
+  return ComputeSpcf(mgr, mapped_, timing_, options).critical_outputs;
+}
+
+FlowResult InProcessEvaluator::RunCandidateFlow(
+    const CandidateConfig& candidate) const {
+  // Everything but the searched axes stays at the FlowOptions defaults —
+  // the same construction the analysis service uses for scoped requests,
+  // which is what makes daemon-evaluated searches byte-identical.
+  FlowOptions options;
+  options.spcf.guard_band = candidate.guard;
+  options.synth = SynthOptionsForCandidate(candidate);
+  return RunMaskingFlowPremapped(mapped_, ti_, lib_, options);
+}
+
+OptEvaluation InProcessEvaluator::EvaluateOne(
+    const CandidateConfig& candidate) const {
+  OptEvaluation e;
+  try {
+    const FlowResult flow = RunCandidateFlow(candidate);
+    YieldMcOptions yield_options;
+    yield_options.trials = config_.yield_trials;
+    yield_options.threads = 1;  // candidates are already the parallel axis
+    yield_options.seed = config_.yield_seed;
+    yield_options.model.sigma = config_.sigma;
+    yield_options.guard_band = candidate.guard;
+    const YieldMcResult yield = EstimateTimingYield(flow, yield_options);
+    e.area_percent = flow.overheads.area_percent;
+    e.power_percent = flow.overheads.power_percent;
+    e.slack_percent = flow.overheads.slack_percent;
+    e.residual_rate = yield.residual_rate;
+    e.yield_original = yield.yield_original;
+    e.yield_protected = yield.yield_protected;
+    e.critical_outputs = flow.overheads.critical_outputs;
+    e.protected_outputs = flow.overheads.protected_outputs;
+    e.safety = flow.verification.safety;
+    e.scope_coverage = flow.verification.scope_coverage;
+    e.ok = true;
+  } catch (const std::exception& ex) {
+    e.ok = false;
+    e.error = ex.what();
+  }
+  return e;
+}
+
+std::vector<OptEvaluation> InProcessEvaluator::EvaluateBatch(
+    const std::vector<CandidateConfig>& candidates, int threads) {
+  return ParallelRows(candidates.size(), threads,
+                      [&](std::size_t i) { return EvaluateOne(candidates[i]); });
+}
+
+std::size_t InProcessEvaluator::SpotCheck(const CandidateConfig& candidate) {
+  const FlowResult flow = RunCandidateFlow(candidate);
+  InjectOptions options;
+  options.strategy = FaultSiteStrategy::kAdversarial;
+  options.max_sites = config_.spot_sites;
+  options.vectors_per_site = config_.spot_vectors;
+  options.seed = config_.spot_seed;
+  options.threads = 1;
+  return RunFaultInjectionCampaign(flow, options).escapes;
+}
+
+DaemonEvaluator::DaemonEvaluator(ServiceClient& client,
+                                 std::string circuit_name, const Network& ti,
+                                 const OptEvalConfig& config)
+    : client_(client),
+      circuit_name_(std::move(circuit_name)),
+      ti_(ti),
+      config_(config) {
+  ValidateOptEvalConfig(config_);
+  SM_REQUIRE(!circuit_name_.empty(),
+             "daemon evaluation needs a named paper circuit");
+}
+
+std::size_t DaemonEvaluator::NumOutputs() { return ti_.NumOutputs(); }
+
+namespace {
+
+ServiceRequest ScopedRequest(ServiceMethod method,
+                             const std::string& circuit_name,
+                             const CandidateConfig& candidate) {
+  ServiceRequest request;
+  request.method = method;
+  request.circuit_name = circuit_name;
+  request.guard = candidate.guard;
+  request.effort = candidate.effort;
+  if (!candidate.protect_all) request.scope = candidate.scope;
+  return request;
+}
+
+Json ParseOkResult(const ServiceResponse& response, const char* what) {
+  SM_CHECK(response.ok(),
+           what << " request failed: " << response.status << " "
+                << response.error);
+  return Json::Parse(response.result_json);
+}
+
+}  // namespace
+
+std::vector<std::size_t> DaemonEvaluator::CriticalOutputs(double guard) {
+  ServiceRequest request;
+  request.method = ServiceMethod::kAnalyzeSpcf;
+  request.circuit_name = circuit_name_;
+  request.guard = guard;
+  const Json doc =
+      ParseOkResult(client_.CallWithRetry(std::move(request)), "analyze_spcf");
+  std::vector<std::size_t> critical;
+  const Json* outputs = doc.Find("critical_outputs");
+  SM_CHECK(outputs != nullptr, "analyze_spcf result lacks critical_outputs");
+  for (const Json& entry : outputs->AsArray()) {
+    critical.push_back(entry.GetUint64("index", 0));
+  }
+  return critical;
+}
+
+std::vector<OptEvaluation> DaemonEvaluator::EvaluateBatch(
+    const std::vector<CandidateConfig>& candidates, int threads) {
+  (void)threads;  // one connection, serial requests; the daemon parallelizes
+  std::vector<OptEvaluation> evals;
+  evals.reserve(candidates.size());
+  for (const CandidateConfig& candidate : candidates) {
+    OptEvaluation e;
+    try {
+      const Json flow = ParseOkResult(
+          client_.CallWithRetry(ScopedRequest(
+              ServiceMethod::kSynthesizeMasking, circuit_name_, candidate)),
+          "synthesize_masking");
+      ServiceRequest yield_request = ScopedRequest(
+          ServiceMethod::kEstimateYield, circuit_name_, candidate);
+      yield_request.trials = config_.yield_trials;
+      yield_request.sigma = config_.sigma;
+      yield_request.seed = config_.yield_seed;
+      const Json yield = ParseOkResult(
+          client_.CallWithRetry(std::move(yield_request)), "estimate_yield");
+      // Every double below was formatted by the canonical shortest-round-
+      // trip dumper, so parsing recovers the in-process value bit for bit.
+      e.area_percent = flow.GetDouble("area_percent", 0);
+      e.power_percent = flow.GetDouble("power_percent", 0);
+      e.slack_percent = flow.GetDouble("slack_percent", 0);
+      e.critical_outputs = flow.GetUint64("critical_outputs", 0);
+      e.protected_outputs = flow.GetUint64("protected_outputs", 0);
+      const Json* safety = flow.Find("safety");
+      e.safety = safety != nullptr && safety->AsBool();
+      const Json* scope_coverage = flow.Find("scope_coverage");
+      e.scope_coverage = scope_coverage != nullptr && scope_coverage->AsBool();
+      e.residual_rate = yield.GetDouble("residual_rate", 0);
+      e.yield_original = yield.GetDouble("yield_original", 0);
+      e.yield_protected = yield.GetDouble("yield_protected", 0);
+      e.ok = true;
+    } catch (const std::exception& ex) {
+      e.ok = false;
+      e.error = ex.what();
+    }
+    evals.push_back(std::move(e));
+  }
+  return evals;
+}
+
+std::size_t DaemonEvaluator::SpotCheck(const CandidateConfig& candidate) {
+  ServiceRequest request =
+      ScopedRequest(ServiceMethod::kInjectCampaign, circuit_name_, candidate);
+  request.strategy = FaultSiteStrategy::kAdversarial;
+  request.sites = config_.spot_sites;
+  request.vectors = config_.spot_vectors;
+  request.seed = config_.spot_seed;
+  const Json doc = ParseOkResult(client_.CallWithRetry(std::move(request)),
+                                 "inject_campaign");
+  return doc.GetUint64("escapes", 0);
+}
+
+namespace {
+
+Json EncodeEvaluation(const OptEvaluation& e) {
+  Json obj = Json::MakeObject();
+  obj.Set("ok", e.ok);
+  obj.Set("overhead", e.Overhead());
+  obj.Set("area_percent", e.area_percent);
+  obj.Set("power_percent", e.power_percent);
+  obj.Set("slack_percent", e.slack_percent);
+  obj.Set("residual_rate", e.residual_rate);
+  obj.Set("yield_original", e.yield_original);
+  obj.Set("yield_protected", e.yield_protected);
+  obj.Set("critical_outputs", e.critical_outputs);
+  obj.Set("protected_outputs", e.protected_outputs);
+  obj.Set("safety", e.safety);
+  obj.Set("scope_coverage", e.scope_coverage);
+  return obj;
+}
+
+}  // namespace
+
+std::string EncodeParetoFrontJson(const std::string& circuit,
+                                  const OptimizerOptions& options,
+                                  const OptimizeResult& result) {
+  Json obj = Json::MakeObject();
+  obj.Set("circuit", circuit);
+  obj.Set("target_yield", options.target_yield);
+  obj.Set("seed", options.seed);
+  obj.Set("population", options.population);
+  obj.Set("generations", options.generations);
+  Json palette = Json::MakeArray();
+  for (const double g : result.space.guard_palette) palette.Append(g);
+  obj.Set("guard_palette", std::move(palette));
+  obj.Set("distinct_evaluations", result.distinct_evaluations);
+  obj.Set("feasible", result.feasible);
+  obj.Set("spot_checks", result.spot_checks);
+  obj.Set("spot_failures", result.spot_failures);
+  obj.Set("baseline", EncodeEvaluation(result.baseline));
+  Json front = Json::MakeArray();
+  for (const ParetoPoint& p : result.front) {
+    Json entry = Json::MakeObject();
+    entry.Set("key", CanonicalGenomeKey(p.genome));
+    entry.Set("guard", p.config.guard);
+    entry.Set("effort", p.config.effort);
+    if (p.config.protect_all) {
+      entry.Set("scope", "all");
+    } else {
+      Json scope = Json::MakeArray();
+      for (const std::size_t o : p.config.scope) scope.Append(o);
+      entry.Set("scope", std::move(scope));
+    }
+    entry.Set("eval", EncodeEvaluation(p.eval));
+    entry.Set("spot_checked", p.spot_checked);
+    entry.Set("spot_escapes", p.spot_escapes);
+    front.Append(std::move(entry));
+  }
+  obj.Set("front", std::move(front));
+  return obj.Dump();
+}
+
+OptimizeResult OptimizeCircuit(const Network& ti, const Library& lib,
+                               const OptimizerOptions& options,
+                               const OptEvalConfig& config) {
+  InProcessEvaluator evaluator(ti, lib, config);
+  return RunMaskingOptimizer(evaluator, options);
+}
+
+}  // namespace sm

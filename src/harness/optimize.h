@@ -1,0 +1,111 @@
+// Concrete evaluators and wiring for the closed-loop masking optimizer
+// (opt/optimizer.h): an in-process evaluator running the full flow +
+// Monte-Carlo yield oracle locally, a daemon evaluator that sends the same
+// work to a speedmask analysis service, and the canonical Pareto-front
+// JSON encoder.
+//
+// Byte-identity contract: both evaluators construct EXACTLY the flow the
+// analysis service runs for a scoped request — Lsi10kLike library, default
+// FlowOptions except the guard band, synthesis options from
+// SynthOptionsForEffort + scope, yield engine at threads=1. The daemon
+// path round-trips every double through the canonical JSON formatter
+// (shortest-round-trip, bit-exact), so an optimizer run is byte-identical
+// whichever evaluator backs it — one of the acceptance gates of
+// bench/opt_pareto.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "harness/flow.h"
+#include "opt/optimizer.h"
+#include "service/client.h"
+
+namespace sm {
+
+// Fixed per-candidate budgets shared by both evaluators (everything the
+// genome does NOT search over).
+struct OptEvalConfig {
+  // Monte-Carlo yield oracle (mirrors the service's estimate_yield knobs).
+  std::uint64_t yield_trials = 1500;
+  double sigma = 0.05;
+  std::uint64_t yield_seed = 2009;
+  // Elite spot-check: short adversarial injection campaign.
+  std::size_t spot_sites = 12;
+  std::size_t spot_vectors = 12;
+  std::uint64_t spot_seed = 2009;
+};
+
+void ValidateOptEvalConfig(const OptEvalConfig& config);
+
+// Runs every candidate locally: DecomposeAndMap once at construction, then
+// per candidate RunMaskingFlowPremapped + EstimateTimingYield(threads=1).
+// EvaluateBatch parallelizes across candidates (each flow owns its
+// manager), with per-slot writes — results are independent of the thread
+// count.
+class InProcessEvaluator : public CandidateEvaluator {
+ public:
+  // `ti` and `lib` must outlive the evaluator.
+  InProcessEvaluator(const Network& ti, const Library& lib,
+                     const OptEvalConfig& config = {});
+
+  std::size_t NumOutputs() override;
+  std::vector<std::size_t> CriticalOutputs(double guard) override;
+  std::vector<OptEvaluation> EvaluateBatch(
+      const std::vector<CandidateConfig>& candidates, int threads) override;
+  std::size_t SpotCheck(const CandidateConfig& candidate) override;
+
+  // The flow for one candidate — exposed so the service and tests can
+  // reproduce exactly what an evaluation saw.
+  FlowResult RunCandidateFlow(const CandidateConfig& candidate) const;
+
+ private:
+  OptEvaluation EvaluateOne(const CandidateConfig& candidate) const;
+
+  const Network& ti_;
+  const Library& lib_;
+  OptEvalConfig config_;
+  MappedNetlist mapped_{""};
+  TimingInfo timing_;
+};
+
+// Sends each candidate as a synthesize_masking + estimate_yield request
+// pair (and spot-checks as inject_campaign requests) to a running
+// analysis daemon. Only named paper circuits are supported: BLIF
+// round-trips are not structure-preserving, so a name is the only
+// representation both sides resolve to the identical network.
+class DaemonEvaluator : public CandidateEvaluator {
+ public:
+  // `ti` is the local instantiation of `circuit_name` (for NumOutputs);
+  // both it and the client must outlive the evaluator.
+  DaemonEvaluator(ServiceClient& client, std::string circuit_name,
+                  const Network& ti, const OptEvalConfig& config = {});
+
+  std::size_t NumOutputs() override;
+  std::vector<std::size_t> CriticalOutputs(double guard) override;
+  std::vector<OptEvaluation> EvaluateBatch(
+      const std::vector<CandidateConfig>& candidates, int threads) override;
+  std::size_t SpotCheck(const CandidateConfig& candidate) override;
+
+ private:
+  ServiceClient& client_;
+  std::string circuit_name_;
+  const Network& ti_;
+  OptEvalConfig config_;
+};
+
+// Canonical front JSON: circuit, search parameters, the protect-all
+// baseline, and one entry per front point (genome + Table-2 overheads +
+// yield + spot-check status). Only semantic values — never wall-clock
+// times — and emitted through service/json's canonical dumper, so two
+// equal results produce byte-identical text.
+std::string EncodeParetoFrontJson(const std::string& circuit,
+                                  const OptimizerOptions& options,
+                                  const OptimizeResult& result);
+
+// Convenience: in-process optimizer run for a circuit.
+OptimizeResult OptimizeCircuit(const Network& ti, const Library& lib,
+                               const OptimizerOptions& options,
+                               const OptEvalConfig& config = {});
+
+}  // namespace sm

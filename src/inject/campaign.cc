@@ -261,12 +261,15 @@ std::vector<SiteContext> BuildSiteContexts(const MappedNetlist& original,
 // keeps only changes under which the escape still replays, and the final
 // single-shot re-verification refreshes the escaping output.
 void ShrinkEscape(const ProtectedCircuit& protected_circuit, double clock,
-                  double protected_clock, EscapeRecord* rec) {
+                  double protected_clock,
+                  const std::vector<std::size_t>& waived_outputs,
+                  EscapeRecord* rec) {
   auto still_escapes = [&](const DelayFault& f, const std::vector<bool>& prev,
                            const std::vector<bool>& nxt,
                            std::size_t* out = nullptr) {
     return ClassifyFaultTrial(protected_circuit, f, prev, nxt, clock,
-                              protected_clock, out) == InjectOutcome::kEscape;
+                              protected_clock, out, nullptr,
+                              &waived_outputs) == InjectOutcome::kEscape;
   };
   DelayFault fault = rec->Fault();
   std::vector<bool> prev = rec->previous;
@@ -383,7 +386,8 @@ InjectOutcome ClassifyFaultTrial(const ProtectedCircuit& protected_circuit,
                                  const std::vector<bool>& next, double clock,
                                  double protected_clock,
                                  std::size_t* escaping_output,
-                                 std::size_t* masked_taps) {
+                                 std::size_t* masked_taps,
+                                 const std::vector<std::size_t>* waived_outputs) {
   const MappedNetlist& prot = protected_circuit.netlist;
   SM_REQUIRE(fault.site < prot.NumElements() && !prot.IsInput(fault.site),
              "fault site must be a non-input element of the protected "
@@ -400,10 +404,16 @@ InjectOutcome ClassifyFaultTrial(const ProtectedCircuit& protected_circuit,
   }
   const EventSimResult sim = SimulateTransition(prot, previous, next, cfg);
 
-  // Escape: a wrong value latched at any primary output of the protected
-  // netlist — the one thing the guarantee says cannot happen.
+  // Escape: a wrong value latched at a primary output the guarantee covers
+  // — the one thing it says cannot happen. Waived outputs (outside the
+  // protection scope) fall through to the masked/benign classification.
   for (std::size_t i = 0; i < prot.NumOutputs(); ++i) {
     if (sim.TimingErrorAt(prot.output(i).driver)) {
+      if (waived_outputs != nullptr &&
+          std::binary_search(waived_outputs->begin(), waived_outputs->end(),
+                             i)) {
+        continue;
+      }
       if (escaping_output != nullptr) *escaping_output = i;
       return InjectOutcome::kEscape;
     }
@@ -524,6 +534,12 @@ InjectionCampaignResult RunInjectionCampaign(
              "guard_band must be in (0, 1), got " << options.guard_band);
   SM_REQUIRE(options.vectors_per_site > 0, "need at least one vector per site");
   SM_REQUIRE(options.chunk > 0, "chunk must be positive");
+  SM_REQUIRE(std::is_sorted(options.waived_outputs.begin(),
+                            options.waived_outputs.end()) &&
+                 std::adjacent_find(options.waived_outputs.begin(),
+                                    options.waived_outputs.end()) ==
+                     options.waived_outputs.end(),
+             "waived_outputs must be strictly ascending");
   SM_REQUIRE(std::isfinite(options.delta_fraction) &&
                  options.delta_fraction > 0,
              "delta_fraction must be positive and finite, got "
@@ -600,9 +616,9 @@ InjectionCampaignResult RunInjectionCampaign(
           std::size_t escaping = 0;
           std::size_t taps = 0;
           Slot slot;
-          slot.outcome = ClassifyFaultTrial(protected_circuit, s.fault,
-                                            s.previous, s.next, clock,
-                                            protected_clock, &escaping, &taps);
+          slot.outcome = ClassifyFaultTrial(
+              protected_circuit, s.fault, s.previous, s.next, clock,
+              protected_clock, &escaping, &taps, &options.waived_outputs);
           slot.escaping_output = static_cast<std::uint32_t>(escaping);
           slot.masked_taps = static_cast<std::uint32_t>(taps);
           slots[t] = slot;
@@ -651,7 +667,7 @@ InjectionCampaignResult RunInjectionCampaign(
         std::min(options.max_shrink_escapes, r.escape_records.size());
     for (std::size_t i = 0; i < n; ++i) {
       ShrinkEscape(protected_circuit, clock, protected_clock,
-                   &r.escape_records[i]);
+                   options.waived_outputs, &r.escape_records[i]);
     }
   }
 

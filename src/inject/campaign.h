@@ -109,6 +109,15 @@ struct InjectOptions {
   bool shrink = true;
   std::size_t max_shrink_escapes = 4;
   std::size_t max_escape_records = 64;
+  // Output indices (strictly ascending) whose errors are NOT guarantee
+  // violations: under a partial protection scope, a critical output left
+  // outside the scope carries no masking claim — its residual risk is
+  // quantified by the Monte-Carlo engine instead. A wrong value at a waived
+  // output is classified through the ordinary masked/benign logic rather
+  // than as an escape. Empty (the default, and always the case under
+  // protect-all) judges every output. RunFaultInjectionCampaign fills this
+  // automatically from the flow's unprotected critical outputs.
+  std::vector<std::size_t> waived_outputs;
 };
 
 // A minimized (or raw, when shrinking is off) escape: everything needed to
@@ -158,14 +167,18 @@ struct InjectionCampaignResult {
 // own deadline `clock`, matching the Monte-Carlo engine. `escaping_output`,
 // when non-null and the outcome is an escape, receives the first wrong
 // output's index; `masked_taps`, when non-null, receives the number of
-// wrong-y/raised-e taps.
+// wrong-y/raised-e taps. `waived_outputs`, when non-null, is a sorted list
+// of output indices whose errors do not count as escapes (see
+// InjectOptions::waived_outputs).
 InjectOutcome ClassifyFaultTrial(const ProtectedCircuit& protected_circuit,
                                  const DelayFault& fault,
                                  const std::vector<bool>& previous,
                                  const std::vector<bool>& next, double clock,
                                  double protected_clock,
                                  std::size_t* escaping_output = nullptr,
-                                 std::size_t* masked_taps = nullptr);
+                                 std::size_t* masked_taps = nullptr,
+                                 const std::vector<std::size_t>* waived_outputs =
+                                     nullptr);
 
 // Single-shot escape replay on a bare netlist (no tap information needed):
 // true iff a wrong value is latched at any primary output. This is what a

@@ -13,6 +13,7 @@ OverheadReport ComputeOverheads(const MappedNetlist& original,
   r.num_outputs = original.NumOutputs();
   r.num_gates = original.NumLogicGates();
   r.critical_outputs = protected_circuit.taps.size();
+  r.protected_outputs = protected_circuit.taps.size();
   r.slack_percent = protected_circuit.SlackPercent();
   r.area_percent = protected_circuit.AreaOverheadPercent();
 

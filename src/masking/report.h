@@ -15,6 +15,9 @@ struct OverheadReport {
   std::size_t num_outputs = 0;
   std::size_t num_gates = 0;          // original mapped gates
   std::size_t critical_outputs = 0;   // Table 2 "Critical POs"
+  // Outputs that actually received a mux (== critical_outputs under the
+  // paper's protect-all scope; fewer under a partial protection scope).
+  std::size_t protected_outputs = 0;
   double critical_minterms = 0;       // Table 2 "Critical minterms"
   double log2_critical_minterms = 0;
   double slack_percent = 0;           // Table 2 "Slack (in %)"

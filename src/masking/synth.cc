@@ -45,6 +45,61 @@ int SopLiterals(const Sop& s) { return s.NumLiterals() + static_cast<int>(s.NumC
 
 }  // namespace
 
+MaskingSynthOptions SynthOptionsForEffort(int effort) {
+  SM_REQUIRE(effort >= 0 && effort < kNumSynthEffortLevels,
+             "synthesis effort must be in [0, " << kNumSynthEffortLevels - 1
+                                                << "], got " << effort);
+  MaskingSynthOptions o;
+  switch (effort) {
+    case 0:
+      o.reduce_covers = false;
+      o.simplify_indicators = false;
+      o.choose_cheaper_polarity = false;
+      o.collapse = false;
+      break;
+    case 1:
+      o.simplify_indicators = false;
+      o.collapse = false;
+      break;
+    case 2:
+      break;  // the paper's defaults
+    case 3:
+      o.eliminate.elim_width = 10;
+      o.eliminate.max_width = 16;
+      o.eliminate.max_fanout = 8;
+      break;
+  }
+  return o;
+}
+
+void ValidateMaskingSynthOptions(const MaskingSynthOptions& options,
+                                 std::size_t num_outputs) {
+  SM_REQUIRE(options.indicator_tree_arity >= 2,
+             "indicator_tree_arity must be at least 2, got "
+                 << options.indicator_tree_arity);
+  SM_REQUIRE(options.eliminate.elim_width >= 1 &&
+                 options.eliminate.max_width >= options.eliminate.elim_width &&
+                 options.eliminate.max_fanout >= 1,
+             "eliminate effort knobs must satisfy 1 <= elim_width <= "
+             "max_width and max_fanout >= 1, got elim_width="
+                 << options.eliminate.elim_width
+                 << " max_width=" << options.eliminate.max_width
+                 << " max_fanout=" << options.eliminate.max_fanout);
+  if (options.protect_all) return;
+  SM_REQUIRE(!options.protection_scope.empty(),
+             "protection scope must be non-empty when protect_all is off — "
+             "an empty scope would silently ship an unprotected circuit");
+  for (std::size_t k = 0; k < options.protection_scope.size(); ++k) {
+    SM_REQUIRE(options.protection_scope[k] < num_outputs,
+               "protection scope index " << options.protection_scope[k]
+                                         << " out of range for "
+                                         << num_outputs << " outputs");
+    SM_REQUIRE(k == 0 ||
+                   options.protection_scope[k - 1] < options.protection_scope[k],
+               "protection scope must be strictly ascending");
+  }
+}
+
 MaskingCircuit SynthesizeMaskingNetwork(
     BddManager& mgr, const Network& ti,
     const std::vector<BddManager::Ref>& ti_globals, const SpcfResult& spcf,
@@ -53,12 +108,27 @@ MaskingCircuit SynthesizeMaskingNetwork(
              "one SPCF per output required");
   SM_REQUIRE(ti_globals.size() == ti.NumNodes(),
              "one global BDD per network node required");
+  ValidateMaskingSynthOptions(options, ti.NumOutputs());
 
-  // Care context per node: union of the SPCFs of the critical outputs whose
+  // Protection targets: every critical output, or the critical subset of
+  // the caller's protection scope.
+  std::vector<std::size_t> targets;
+  if (options.protect_all) {
+    targets = spcf.critical_outputs;
+  } else {
+    for (std::size_t i : spcf.critical_outputs) {
+      if (std::binary_search(options.protection_scope.begin(),
+                             options.protection_scope.end(), i)) {
+        targets.push_back(i);
+      }
+    }
+  }
+
+  // Care context per node: union of the SPCFs of the protected outputs whose
   // cones contain it ("all outputs simultaneously", Sec. 4).
   std::vector<BddManager::Ref> ctx(ti.NumNodes(), mgr.False());
   std::vector<bool> in_cone(ti.NumNodes(), false);
-  for (std::size_t i : spcf.critical_outputs) {
+  for (std::size_t i : targets) {
     const BddManager::Ref sigma = spcf.sigma[i];
     for (NodeId n : TransitiveFanin(ti, {ti.output(i).driver})) {
       ctx[n] = mgr.Or(ctx[n], sigma);
@@ -149,9 +219,9 @@ MaskingCircuit SynthesizeMaskingNetwork(
     indicator[id] = out.AddNode(pred_fanins, e_fn, "e_" + ti.node_name(id));
   }
 
-  // Per critical output: the prediction image of the driver and the
+  // Per protected output: the prediction image of the driver and the
   // conjunction of the cone's indicators.
-  for (std::size_t i : spcf.critical_outputs) {
+  for (std::size_t i : targets) {
     const NodeId driver = ti.output(i).driver;
     const std::string& name = ti.output(i).name;
     SM_CHECK(pred[driver] != kInvalidNode, "critical output has no prediction");

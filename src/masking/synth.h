@@ -40,7 +40,41 @@ struct MaskingSynthOptions {
   // flattens the Σ-simplified logic and is what achieves the ≥20% slack.
   bool collapse = true;
   EliminateOptions eliminate;
+
+  // Protection scope. The paper's operating point (protect_all, the
+  // default) masks every SPCF-critical output. When protect_all is false,
+  // only the outputs listed in protection_scope — original output indices,
+  // strictly ascending, non-empty — that are *also* critical get a
+  // prediction/indicator pair and an output mux; critical outputs outside
+  // the scope stay unprotected and are reported as such by VerifyMasking.
+  // The closed-loop optimizer (src/opt) searches this subset space.
+  bool protect_all = true;
+  std::vector<std::size_t> protection_scope;
 };
+
+// Number of discrete synthesis-effort levels (0 .. kNumSynthEffortLevels-1)
+// understood by SynthOptionsForEffort.
+inline constexpr int kNumSynthEffortLevels = 4;
+
+// Maps a discrete effort level onto the simplification / don't-care knobs
+// above — the C̃ synthesis-aggressiveness axis of the optimizer genome and
+// the "effort" parameter of scoped service requests. Higher effort spends
+// more work per node for a smaller masking circuit:
+//   0 — raw covers: no Σ-reduction, no indicator simplification, no collapse;
+//   1 — Σ-reduced covers only;
+//   2 — the paper's defaults (reduce + simplify + collapse);
+//   3 — level 2 with a wider bounded eliminate (deeper flattening).
+// Scope fields are left at their defaults. Throws on an out-of-range level.
+MaskingSynthOptions SynthOptionsForEffort(int effort);
+
+// Precondition checks shared by SynthesizeMaskingNetwork and the flow:
+// indicator_tree_arity >= 2, coherent eliminate widths, and — when
+// protect_all is off — a non-empty, strictly ascending protection scope
+// within [0, num_outputs). Throws std::invalid_argument so optimizer-
+// generated configs fail loudly instead of producing silently-unprotected
+// flows.
+void ValidateMaskingSynthOptions(const MaskingSynthOptions& options,
+                                 std::size_t num_outputs);
 
 struct MaskingCircuit {
   // Inputs mirror the original PIs (same names, same order). For each

@@ -21,6 +21,7 @@ MaskingVerification VerifyMasking(
   MaskingVerification v;
   v.safety = true;
   v.coverage = true;
+  v.scope_coverage = true;
   v.coverage_fraction = 1.0;
 
   for (const auto& entry : masking.entries) {
@@ -36,6 +37,7 @@ MaskingVerification VerifyMasking(
     if (!safe || !covered) v.failing_outputs.push_back(entry.output_index);
     v.safety = v.safety && safe;
     v.coverage = v.coverage && covered;
+    v.scope_coverage = v.scope_coverage && covered;
 
     const double sf = mgr.SatFraction(sigma);
     if (sf > 0) {
@@ -43,6 +45,21 @@ MaskingVerification VerifyMasking(
           v.coverage_fraction, mgr.SatFraction(mgr.And(sigma, ind)) / sf);
     }
   }
+
+  // Critical outputs outside the protection scope have no entry and no
+  // indicator: they cover none of their Σ_y. Account for them exactly —
+  // coverage fails, the min-fraction drops to 0, and the indices are
+  // reported both as failing and as deliberately unprotected.
+  std::vector<bool> has_entry(ti.NumOutputs(), false);
+  for (const auto& entry : masking.entries) has_entry[entry.output_index] = true;
+  for (std::size_t i : spcf.critical_outputs) {
+    if (has_entry[i]) continue;
+    v.coverage = false;
+    v.coverage_fraction = 0;
+    v.failing_outputs.push_back(i);
+    v.unprotected_critical.push_back(i);
+  }
+  std::sort(v.failing_outputs.begin(), v.failing_outputs.end());
   return v;
 }
 

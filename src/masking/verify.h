@@ -20,10 +20,24 @@ namespace sm {
 
 struct MaskingVerification {
   bool safety = false;
+  // True when EVERY critical output raises its indicator on all of Σ_y —
+  // an SPCF-critical output with no masking entry (outside the protection
+  // scope) counts as uncovered, so partial-scope flows report coverage =
+  // false even when the protected subset itself is perfect.
   bool coverage = false;
-  // min over critical outputs of |Σ_y ∧ e_y| / |Σ_y| (1.0 == 100%).
+  // True when every *protected* output (one with a masking entry) is fully
+  // covered — the guarantee the scoped design actually claims. Equals
+  // `coverage` under protect_all.
+  bool scope_coverage = false;
+  // min over ALL critical outputs of |Σ_y ∧ e_y| / |Σ_y| (1.0 == 100%).
+  // An unprotected critical output has no indicator, so it contributes
+  // exactly 0 — a 2-of-4 scope over four critical outputs reports 0 here
+  // while scope_coverage stays true.
   double coverage_fraction = 0;
   std::vector<std::size_t> failing_outputs;  // original output indices
+  // Critical outputs with no masking entry (accepted risk under a partial
+  // protection scope); always a subset of failing_outputs.
+  std::vector<std::size_t> unprotected_critical;
 
   bool ok() const { return safety && coverage; }
 };

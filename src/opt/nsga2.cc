@@ -1,0 +1,137 @@
+#include "opt/nsga2.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sm {
+
+bool Nsga2Dominates(const Nsga2Item& a, const Nsga2Item& b) {
+  const bool fa = a.violation <= 0;
+  const bool fb = b.violation <= 0;
+  if (fa != fb) return fa;
+  if (!fa) return a.violation < b.violation;
+  const bool no_worse = a.f1 <= b.f1 && a.f2 <= b.f2;
+  const bool better = a.f1 < b.f1 || a.f2 < b.f2;
+  return no_worse && better;
+}
+
+std::vector<std::vector<std::size_t>> NonDominatedSort(
+    const std::vector<Nsga2Item>& items) {
+  const std::size_t n = items.size();
+  std::vector<std::vector<std::size_t>> fronts;
+  if (n == 0) return fronts;
+  // Fast-and-simple O(n²) domination counting — populations here are tens
+  // of genomes, not thousands.
+  std::vector<std::size_t> dominated_by(n, 0);
+  std::vector<std::vector<std::size_t>> dominates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (Nsga2Dominates(items[i], items[j])) {
+        dominates[i].push_back(j);
+        ++dominated_by[j];
+      } else if (Nsga2Dominates(items[j], items[i])) {
+        dominates[j].push_back(i);
+        ++dominated_by[i];
+      }
+    }
+  }
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominated_by[i] == 0) current.push_back(i);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      for (const std::size_t j : dominates[i]) {
+        if (--dominated_by[j] == 0) next.push_back(j);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> CrowdingDistances(const std::vector<Nsga2Item>& items,
+                                      const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  const double inf = std::numeric_limits<double>::infinity();
+  if (n <= 2) {
+    std::fill(dist.begin(), dist.end(), inf);
+    return dist;
+  }
+  // positions into `front`/`dist`, sorted per objective.
+  std::vector<std::size_t> order(n);
+  for (int obj = 0; obj < 2; ++obj) {
+    const auto value = [&](std::size_t pos) {
+      const Nsga2Item& it = items[front[pos]];
+      return obj == 0 ? it.f1 : it.f2;
+    };
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double va = value(a), vb = value(b);
+                if (va != vb) return va < vb;
+                return front[a] < front[b];  // deterministic tie-break
+              });
+    const double span = value(order[n - 1]) - value(order[0]);
+    dist[order[0]] = inf;
+    dist[order[n - 1]] = inf;
+    if (span <= 0) continue;  // degenerate objective: no interior spread
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      dist[order[i]] += (value(order[i + 1]) - value(order[i - 1])) / span;
+    }
+  }
+  return dist;
+}
+
+Nsga2Ranking RankPopulation(const std::vector<Nsga2Item>& items) {
+  Nsga2Ranking r;
+  r.rank.assign(items.size(), 0);
+  r.crowding.assign(items.size(), 0.0);
+  const auto fronts = NonDominatedSort(items);
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    const auto dist = CrowdingDistances(items, fronts[f]);
+    for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+      r.rank[fronts[f][i]] = f;
+      r.crowding[fronts[f][i]] = dist[i];
+    }
+  }
+  return r;
+}
+
+std::vector<std::size_t> SelectNsga2(const std::vector<Nsga2Item>& items,
+                                     std::size_t k) {
+  SM_REQUIRE(k <= items.size(),
+             "cannot select " << k << " of " << items.size() << " items");
+  std::vector<std::size_t> chosen;
+  const auto fronts = NonDominatedSort(items);
+  for (const auto& front : fronts) {
+    if (chosen.size() + front.size() <= k) {
+      chosen.insert(chosen.end(), front.begin(), front.end());
+      if (chosen.size() == k) break;
+      continue;
+    }
+    // Split front: take the most-crowded-distance members first.
+    const auto dist = CrowdingDistances(items, front);
+    std::vector<std::size_t> pos(front.size());
+    for (std::size_t i = 0; i < front.size(); ++i) pos[i] = i;
+    std::sort(pos.begin(), pos.end(), [&](std::size_t a, std::size_t b) {
+      if (dist[a] != dist[b]) return dist[a] > dist[b];
+      return front[a] < front[b];  // deterministic tie-break
+    });
+    for (std::size_t i = 0; chosen.size() < k; ++i) {
+      chosen.push_back(front[pos[i]]);
+    }
+    break;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace sm

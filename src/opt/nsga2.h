@@ -1,0 +1,55 @@
+// NSGA-II machinery: constrained non-dominated sorting, crowding distance
+// and deterministic environmental selection over plain objective vectors.
+//
+// Determinism contract: every function here is a pure function of its
+// input order. Ties — equal objective pairs, equal crowding distances —
+// always break toward the lower population index, and fronts list their
+// members in ascending index order. The optimizer feeds populations in a
+// deterministic order (archive keys are canonical genome strings), so the
+// selected survivors, and with them the final Pareto front, are
+// bit-identical across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sm {
+
+// One candidate's fitness: two objectives to minimize plus a constraint
+// violation (0 = feasible; larger = worse).
+struct Nsga2Item {
+  double f1 = 0;
+  double f2 = 0;
+  double violation = 0;
+};
+
+// Deb's constrained domination: a feasible item dominates every infeasible
+// one; among infeasible items the smaller violation dominates; among
+// feasible items ordinary Pareto domination on (f1, f2).
+bool Nsga2Dominates(const Nsga2Item& a, const Nsga2Item& b);
+
+// Fronts in ascending rank; within a front, ascending item index.
+std::vector<std::vector<std::size_t>> NonDominatedSort(
+    const std::vector<Nsga2Item>& items);
+
+// Crowding distance of each member of `front` (indices into `items`),
+// aligned with `front`'s order. Boundary members get +inf.
+std::vector<double> CrowdingDistances(const std::vector<Nsga2Item>& items,
+                                      const std::vector<std::size_t>& front);
+
+// Rank (front number) and crowding distance per item — the comparison key
+// NSGA-II tournaments use.
+struct Nsga2Ranking {
+  std::vector<std::size_t> rank;
+  std::vector<double> crowding;
+};
+
+Nsga2Ranking RankPopulation(const std::vector<Nsga2Item>& items);
+
+// Environmental selection: the k survivors by (rank asc, crowding desc,
+// index asc), whole fronts first, the split front by crowding. Returned in
+// ascending index order.
+std::vector<std::size_t> SelectNsga2(const std::vector<Nsga2Item>& items,
+                                     std::size_t k);
+
+}  // namespace sm

@@ -1,0 +1,272 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "opt/nsga2.h"
+#include "util/check.h"
+
+namespace sm {
+namespace {
+
+// Fitness of an archive entry under the yield constraint. Failed
+// evaluations are maximally infeasible so they lose every tournament but
+// never crash the search.
+Nsga2Item ItemFor(const OptEvaluation& e, double target_yield) {
+  Nsga2Item item;
+  if (!e.ok) {
+    item.f1 = item.f2 = 1e30;
+    item.violation = 1e30;
+    return item;
+  }
+  item.f1 = e.Overhead();
+  item.f2 = e.residual_rate;
+  double v = 0;
+  if (!e.safety) v += 1.0;
+  if (!e.scope_coverage) v += 1.0;
+  v += std::max(0.0, target_yield - e.yield_protected);
+  item.violation = v;
+  return item;
+}
+
+struct ArchiveEntry {
+  OptGenome genome;
+  OptEvaluation eval;
+};
+
+}  // namespace
+
+void ValidateOptimizerOptions(const OptimizerOptions& options) {
+  SM_REQUIRE(options.population >= 2,
+             "population must be >= 2, got " << options.population);
+  SM_REQUIRE(options.generations >= 1,
+             "generations must be >= 1, got " << options.generations);
+  SM_REQUIRE(std::isfinite(options.target_yield) &&
+                 options.target_yield >= 0 && options.target_yield <= 1,
+             "target_yield must be in [0, 1], got " << options.target_yield);
+  SM_REQUIRE(std::isfinite(options.crossover_rate) &&
+                 options.crossover_rate >= 0 && options.crossover_rate <= 1,
+             "crossover_rate must be in [0, 1], got "
+                 << options.crossover_rate);
+  SM_REQUIRE(!options.guard_palette.empty(), "guard palette must be non-empty");
+  for (const double g : options.guard_palette) {
+    SM_REQUIRE(std::isfinite(g) && g > 0 && g < 1,
+               "guard palette entries must be in (0, 1), got " << g);
+  }
+}
+
+OptimizeResult RunMaskingOptimizer(CandidateEvaluator& evaluator,
+                                   const OptimizerOptions& options) {
+  ValidateOptimizerOptions(options);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  OptimizeResult result;
+  OptSearchSpace& space = result.space;
+  space.guard_palette = options.guard_palette;
+  std::sort(space.guard_palette.begin(), space.guard_palette.end());
+  space.guard_palette.erase(
+      std::unique(space.guard_palette.begin(), space.guard_palette.end()),
+      space.guard_palette.end());
+  space.num_outputs = evaluator.NumOutputs();
+  for (const double guard : space.guard_palette) {
+    space.critical_per_guard.push_back(evaluator.CriticalOutputs(guard));
+  }
+  ValidateSearchSpace(space);
+
+  // Evaluation archive: canonical genome key -> fitness. std::map so every
+  // whole-archive pass below iterates in a deterministic (key) order.
+  std::map<std::string, ArchiveEntry> archive;
+
+  const auto evaluate_new = [&](const std::vector<OptGenome>& genomes) {
+    std::vector<OptGenome> fresh;
+    std::vector<std::string> keys;
+    std::set<std::string> batch_keys;
+    for (const OptGenome& g : genomes) {
+      std::string key = CanonicalGenomeKey(g);
+      if (archive.count(key) || !batch_keys.insert(key).second) continue;
+      fresh.push_back(g);
+      keys.push_back(std::move(key));
+    }
+    if (fresh.empty()) return;
+    std::vector<CandidateConfig> configs;
+    configs.reserve(fresh.size());
+    for (const OptGenome& g : fresh) configs.push_back(ResolveGenome(g, space));
+    const std::vector<OptEvaluation> evals =
+        evaluator.EvaluateBatch(configs, options.threads);
+    SM_CHECK(evals.size() == fresh.size(),
+             "evaluator returned " << evals.size() << " results for "
+                                   << fresh.size() << " candidates");
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      archive.emplace(keys[i], ArchiveEntry{fresh[i], evals[i]});
+    }
+  };
+
+  // Generation 0: the protect-all baseline, one protect-all genome per
+  // palette guard (the pure guard-band axis), random fill.
+  const OptGenome baseline = BaselineGenome(space);
+  const std::string baseline_key = CanonicalGenomeKey(baseline);
+  std::vector<OptGenome> population;
+  population.push_back(baseline);
+  for (std::size_t i = 0;
+       i < space.guard_palette.size() && population.size() < options.population;
+       ++i) {
+    OptGenome g;
+    g.guard_index = static_cast<int>(i);
+    g.effort = 2;
+    RepairGenome(g, space);
+    population.push_back(g);
+  }
+  {
+    Rng rng = Rng::ForStream(options.seed, 0);
+    while (population.size() < options.population) {
+      population.push_back(RandomGenome(rng, space));
+    }
+  }
+  evaluate_new(population);
+
+  const auto item_of = [&](const OptGenome& g) {
+    const auto it = archive.find(CanonicalGenomeKey(g));
+    SM_CHECK(it != archive.end(), "population genome missing from archive");
+    return ItemFor(it->second.eval, options.target_yield);
+  };
+
+  for (std::size_t gen = 1; gen <= options.generations; ++gen) {
+    Rng rng = Rng::ForStream(options.seed, gen);
+
+    std::vector<Nsga2Item> items;
+    items.reserve(population.size());
+    for (const OptGenome& g : population) items.push_back(item_of(g));
+    const Nsga2Ranking ranking = RankPopulation(items);
+
+    // Binary tournament on (rank, crowding, index).
+    const auto tournament = [&]() -> const OptGenome& {
+      const std::size_t a = rng.Below(population.size());
+      const std::size_t b = rng.Below(population.size());
+      if (ranking.rank[a] != ranking.rank[b]) {
+        return population[ranking.rank[a] < ranking.rank[b] ? a : b];
+      }
+      if (ranking.crowding[a] != ranking.crowding[b]) {
+        return population[ranking.crowding[a] > ranking.crowding[b] ? a : b];
+      }
+      return population[std::min(a, b)];
+    };
+
+    std::vector<OptGenome> offspring;
+    offspring.reserve(options.population);
+    while (offspring.size() < options.population) {
+      const OptGenome& p1 = tournament();
+      const OptGenome& p2 = tournament();
+      OptGenome child = rng.Chance(options.crossover_rate)
+                            ? CrossoverGenomes(rng, p1, p2, space)
+                            : (rng.Chance(0.5) ? p1 : p2);
+      MutateGenome(rng, child, space);
+      offspring.push_back(std::move(child));
+    }
+    evaluate_new(offspring);
+
+    // Environmental selection over parents + offspring, deduplicated (a
+    // genome evaluated once must not occupy two survivor slots and skew
+    // crowding toward itself).
+    std::vector<OptGenome> combined;
+    std::set<std::string> seen;
+    for (const auto* group : {&population, &offspring}) {
+      for (const OptGenome& g : *group) {
+        if (seen.insert(CanonicalGenomeKey(g)).second) combined.push_back(g);
+      }
+    }
+    std::vector<Nsga2Item> citems;
+    citems.reserve(combined.size());
+    for (const OptGenome& g : combined) citems.push_back(item_of(g));
+    const std::vector<std::size_t> keep = SelectNsga2(
+        citems, std::min(options.population, combined.size()));
+    std::vector<OptGenome> next;
+    next.reserve(keep.size());
+    for (const std::size_t i : keep) next.push_back(combined[i]);
+    population = std::move(next);
+  }
+
+  result.distinct_evaluations = archive.size();
+  if (const auto it = archive.find(baseline_key); it != archive.end()) {
+    result.baseline = it->second.eval;
+  }
+  for (const auto& [key, entry] : archive) {
+    (void)key;
+    if (entry.eval.ok &&
+        ItemFor(entry.eval, options.target_yield).violation <= 0) {
+      ++result.feasible;
+    }
+  }
+
+  // Final front over the whole archive, with the elite re-validation loop:
+  // spot-check every would-be front member; expel candidates with escapes
+  // and recompute until the front is stable. The loop terminates because
+  // each iteration either ends or permanently removes >= 1 candidate.
+  std::set<std::string> expelled;
+  std::map<std::string, std::size_t> spot_results;
+  std::vector<std::string> front_keys;
+  for (;;) {
+    front_keys.clear();
+    std::vector<Nsga2Item> items;
+    for (const auto& [key, entry] : archive) {
+      if (expelled.count(key)) continue;
+      const Nsga2Item item = ItemFor(entry.eval, options.target_yield);
+      if (!entry.eval.ok || item.violation > 0) continue;
+      front_keys.push_back(key);
+      items.push_back(item);
+    }
+    if (front_keys.empty()) break;
+    const auto fronts = NonDominatedSort(items);
+    std::vector<std::string> elite;
+    for (const std::size_t i : fronts[0]) elite.push_back(front_keys[i]);
+    front_keys = std::move(elite);
+    if (!options.spot_check) break;
+    bool changed = false;
+    for (const std::string& key : front_keys) {
+      if (spot_results.count(key)) continue;
+      const std::size_t escapes =
+          evaluator.SpotCheck(ResolveGenome(archive.at(key).genome, space));
+      spot_results.emplace(key, escapes);
+      ++result.spot_checks;
+      if (escapes > 0) {
+        expelled.insert(key);
+        ++result.spot_failures;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  for (const std::string& key : front_keys) {
+    const ArchiveEntry& entry = archive.at(key);
+    ParetoPoint p;
+    p.genome = entry.genome;
+    p.config = ResolveGenome(entry.genome, space);
+    p.eval = entry.eval;
+    if (const auto it = spot_results.find(key); it != spot_results.end()) {
+      p.spot_checked = true;
+      p.spot_escapes = it->second;
+    }
+    result.front.push_back(std::move(p));
+  }
+  std::sort(result.front.begin(), result.front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.eval.Overhead() != b.eval.Overhead()) {
+                return a.eval.Overhead() < b.eval.Overhead();
+              }
+              if (a.eval.residual_rate != b.eval.residual_rate) {
+                return a.eval.residual_rate < b.eval.residual_rate;
+              }
+              return CanonicalGenomeKey(a.genome) <
+                     CanonicalGenomeKey(b.genome);
+            });
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace sm

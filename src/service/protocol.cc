@@ -20,6 +20,8 @@ const char* ToString(ServiceMethod method) {
       return "estimate_yield";
     case ServiceMethod::kInjectCampaign:
       return "inject_campaign";
+    case ServiceMethod::kOptimizeMasking:
+      return "optimize_masking";
     case ServiceMethod::kStats:
       return "stats";
     case ServiceMethod::kShutdown:
@@ -33,6 +35,7 @@ ServiceMethod ServiceMethodFromString(const std::string& name) {
   if (name == "synthesize_masking") return ServiceMethod::kSynthesizeMasking;
   if (name == "estimate_yield") return ServiceMethod::kEstimateYield;
   if (name == "inject_campaign") return ServiceMethod::kInjectCampaign;
+  if (name == "optimize_masking") return ServiceMethod::kOptimizeMasking;
   if (name == "stats") return ServiceMethod::kStats;
   if (name == "shutdown") return ServiceMethod::kShutdown;
   throw ParseError("unknown service method: " + name);
@@ -91,6 +94,27 @@ std::string SerializeRequest(const ServiceRequest& request) {
       obj.Set("delta_fraction", request.delta_fraction);
       obj.Set("seed", request.seed);
     }
+    if (request.method == ServiceMethod::kOptimizeMasking) {
+      obj.Set("target_yield", request.target_yield);
+      obj.Set("population", request.population);
+      obj.Set("generations", request.generations);
+      obj.Set("trials", request.trials);
+      obj.Set("sigma", request.sigma);
+      obj.Set("seed", request.seed);
+    }
+    // Scoped-flow fields, serialized only away from their defaults so
+    // legacy protect-all requests keep their exact historical bytes (and
+    // cache keys stay comparable across clients).
+    if (request.method == ServiceMethod::kSynthesizeMasking ||
+        request.method == ServiceMethod::kEstimateYield ||
+        request.method == ServiceMethod::kInjectCampaign) {
+      if (request.effort != 2) obj.Set("effort", request.effort);
+      if (!request.scope.empty()) {
+        Json scope = Json::MakeArray();
+        for (const std::size_t o : request.scope) scope.Append(o);
+        obj.Set("scope", std::move(scope));
+      }
+    }
   }
   if (request.deadline_ms > 0) obj.Set("deadline_ms", request.deadline_ms);
   return obj.Dump();
@@ -122,6 +146,15 @@ ServiceRequest ParseRequest(const std::string& payload) {
     r.sites = doc.GetUint64("sites", 0);
     r.vectors = doc.GetUint64("vectors", 24);
     r.delta_fraction = doc.GetDouble("delta_fraction", 1.0);
+    r.effort = doc.GetUint64("effort", 2);
+    if (const Json* scope = doc.Find("scope")) {
+      for (const Json& entry : scope->AsArray()) {
+        r.scope.push_back(entry.AsUint64());
+      }
+    }
+    r.target_yield = doc.GetDouble("target_yield", 0.95);
+    r.population = doc.GetUint64("population", 16);
+    r.generations = doc.GetUint64("generations", 6);
     r.deadline_ms = doc.GetDouble("deadline_ms", 0);
   } catch (const JsonError& e) {
     throw ParseError(std::string("bad request field: ") + e.what());
@@ -139,6 +172,23 @@ ServiceRequest ParseRequest(const std::string& payload) {
     SM_REQUIRE(std::isfinite(r.delta_fraction) && r.delta_fraction > 0,
                "delta_fraction must be positive and finite, got "
                    << r.delta_fraction);
+  }
+  if (r.IsAnalysis()) {
+    SM_REQUIRE(r.effort < static_cast<std::uint64_t>(kNumSynthEffortLevels),
+               "effort must be < " << kNumSynthEffortLevels << ", got "
+                                   << r.effort);
+    for (std::size_t i = 0; i < r.scope.size(); ++i) {
+      SM_REQUIRE(i == 0 || r.scope[i - 1] < r.scope[i],
+                 "scope must be strictly ascending");
+    }
+  }
+  if (r.method == ServiceMethod::kOptimizeMasking) {
+    SM_REQUIRE(std::isfinite(r.target_yield) && r.target_yield >= 0 &&
+                   r.target_yield <= 1,
+               "target_yield must be in [0, 1], got " << r.target_yield);
+    SM_REQUIRE(r.population >= 2, "population must be >= 2");
+    SM_REQUIRE(r.generations >= 1, "generations must be >= 1");
+    SM_REQUIRE(r.trials > 0, "trials must be positive");
   }
   return r;
 }
@@ -213,6 +263,21 @@ std::uint64_t RequestCacheKey(const ServiceRequest& request,
     h.AddDouble(request.delta_fraction);
     h.Add(request.seed);
   }
+  if (request.method == ServiceMethod::kSynthesizeMasking ||
+      request.method == ServiceMethod::kEstimateYield ||
+      request.method == ServiceMethod::kInjectCampaign) {
+    h.Add(request.effort);
+    h.Add(request.scope.size());
+    for (const std::size_t o : request.scope) h.Add(o);
+  }
+  if (request.method == ServiceMethod::kOptimizeMasking) {
+    h.AddDouble(request.target_yield);
+    h.Add(request.population);
+    h.Add(request.generations);
+    h.Add(request.trials);
+    h.AddDouble(request.sigma);
+    h.Add(request.seed);
+  }
   return h.Digest();
 }
 
@@ -229,6 +294,7 @@ std::string EncodeSpcfResult(const std::string& circuit, BddManager& mgr,
   Json outputs = Json::MakeArray();
   for (std::size_t i : spcf.critical_outputs) {
     Json entry = Json::MakeObject();
+    entry.Set("index", i);
     entry.Set("name", net.output(i).name);
     entry.Set("patterns", mgr.SatCount(spcf.sigma[i], num_inputs));
     outputs.Append(std::move(entry));
@@ -248,6 +314,7 @@ std::string EncodeFlowResult(const FlowResult& flow) {
   obj.Set("gates", o.num_gates);
   obj.Set("delta", flow.timing.critical_delay);
   obj.Set("critical_outputs", o.critical_outputs);
+  obj.Set("protected_outputs", o.protected_outputs);
   obj.Set("critical_minterms", o.critical_minterms);
   obj.Set("log2_critical_minterms", FiniteOrZero(o.log2_critical_minterms));
   obj.Set("slack_percent", o.slack_percent);
@@ -255,6 +322,7 @@ std::string EncodeFlowResult(const FlowResult& flow) {
   obj.Set("power_percent", o.power_percent);
   obj.Set("safety", o.safety);
   obj.Set("coverage_100", o.coverage_100);
+  obj.Set("scope_coverage", flow.verification.scope_coverage);
   return obj.Dump();
 }
 

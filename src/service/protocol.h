@@ -4,7 +4,7 @@
 //
 //   request  := {"id": u64, "method": M, ...params}
 //   M        := "analyze_spcf" | "synthesize_masking" | "estimate_yield"
-//             | "inject_campaign" | "stats" | "shutdown"
+//             | "inject_campaign" | "optimize_masking" | "stats" | "shutdown"
 //   response := {"id": u64, "status": S, "result": {...}} on success,
 //               {"id": u64, "status": S, "error": "..."} otherwise
 //   S        := "ok" | "error" | "overloaded" | "timeout" | "shutting_down"
@@ -12,10 +12,15 @@
 // Analysis params: the circuit is either "circuit_name" (a built-in paper
 // circuit) or "circuit_blif" (inline BLIF text), plus "guard" and, per
 // method, "algorithm" (analyze_spcf), "trials"/"sigma"/"seed"
-// (estimate_yield), or "strategy"/"fault"/"sites"/"vectors"/
-// "delta_fraction"/"seed" (inject_campaign). "deadline_ms" bounds queue
-// wait + compute; an expired request answers with status "timeout" instead
-// of stale work.
+// (estimate_yield), "strategy"/"fault"/"sites"/"vectors"/
+// "delta_fraction"/"seed" (inject_campaign), or "target_yield"/
+// "population"/"generations"/"trials"/"sigma"/"seed" (optimize_masking,
+// which runs the closed-loop Pareto search of opt/optimizer.h server-side).
+// The scoped-flow methods additionally accept "effort" (synthesis-effort
+// level, default 2 = the paper's knobs) and "scope" (ascending output
+// indices; absent = protect-all). "deadline_ms" bounds queue wait +
+// compute; an expired request answers with status "timeout" instead of
+// stale work.
 //
 // Determinism contract: the "result" object contains only semantic values
 // (never wall-clock times or BDD work counters, which vary with worker
@@ -42,11 +47,12 @@ enum class ServiceMethod : std::uint8_t {
   kSynthesizeMasking,
   kEstimateYield,
   kInjectCampaign,
+  kOptimizeMasking,
   kStats,
   kShutdown,
 };
 
-inline constexpr int kNumServiceMethods = 6;
+inline constexpr int kNumServiceMethods = 7;
 
 const char* ToString(ServiceMethod method);
 ServiceMethod ServiceMethodFromString(const std::string& name);
@@ -69,6 +75,17 @@ struct ServiceRequest {
   std::uint64_t sites = 0;  // 0 = every candidate (strategy-dependent)
   std::uint64_t vectors = 24;
   double delta_fraction = 1.0;
+  // Scoped-flow parameters (synthesize_masking / estimate_yield /
+  // inject_campaign): C̃ synthesis-effort level (SynthOptionsForEffort; 2 is
+  // the paper's defaults) and protection scope — empty means protect-all, a
+  // non-empty strictly-ascending index list masks only those outputs.
+  std::uint64_t effort = 2;
+  std::vector<std::size_t> scope;
+  // optimize_masking only (trials/sigma/seed double as the optimizer's
+  // yield-oracle budget and search seed).
+  double target_yield = 0.95;
+  std::uint64_t population = 16;
+  std::uint64_t generations = 6;
   // 0 = no deadline.
   double deadline_ms = 0;
 
@@ -76,7 +93,8 @@ struct ServiceRequest {
     return method == ServiceMethod::kAnalyzeSpcf ||
            method == ServiceMethod::kSynthesizeMasking ||
            method == ServiceMethod::kEstimateYield ||
-           method == ServiceMethod::kInjectCampaign;
+           method == ServiceMethod::kInjectCampaign ||
+           method == ServiceMethod::kOptimizeMasking;
   }
 };
 

@@ -11,6 +11,7 @@
 
 #include "bdd/bdd.h"
 #include "harness/inject.h"
+#include "harness/optimize.h"
 #include "harness/yield.h"
 #include "liblib/lsi10k.h"
 #include "map/tech_map.h"
@@ -369,6 +370,22 @@ void SpeedmaskServer::RunAnalysis(std::shared_ptr<Connection> conn,
   FinishRequest();
 }
 
+namespace {
+
+// Effort + scope of a scoped-flow request mapped onto synthesis options
+// (the same resolution the optimizer's evaluators apply client-side).
+MaskingSynthOptions ScopedSynthOptions(const ServiceRequest& request) {
+  MaskingSynthOptions synth =
+      SynthOptionsForEffort(static_cast<int>(request.effort));
+  if (!request.scope.empty()) {
+    synth.protect_all = false;
+    synth.protection_scope = request.scope;
+  }
+  return synth;
+}
+
+}  // namespace
+
 std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
                                            const ServiceRequest& request,
                                            const Network& circuit) {
@@ -390,6 +407,7 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
     case ServiceMethod::kEstimateYield: {
       FlowOptions flow_options;
       flow_options.spcf.guard_band = request.guard;
+      flow_options.synth = ScopedSynthOptions(request);
       flow_options.reuse_manager = &ctx.ManagerFor(
           static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
       const FlowResult flow = RunMaskingFlow(circuit, library_, flow_options);
@@ -408,6 +426,7 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
     case ServiceMethod::kInjectCampaign: {
       FlowOptions flow_options;
       flow_options.spcf.guard_band = request.guard;
+      flow_options.synth = ScopedSynthOptions(request);
       flow_options.reuse_manager = &ctx.ManagerFor(
           static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
       const FlowResult flow = RunMaskingFlow(circuit, library_, flow_options);
@@ -422,6 +441,26 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       const InjectionCampaignResult campaign =
           RunFaultInjectionCampaign(flow, inject_options);
       return EncodeInjectResult(flow, request, campaign);
+    }
+    case ServiceMethod::kOptimizeMasking: {
+      // The closed-loop Pareto search runs whole flows with their own
+      // managers (candidates evaluate in parallel only across requests
+      // here — workers are already the parallel axis), so the warm
+      // per-worker manager is not involved.
+      OptimizerOptions opt_options;
+      opt_options.target_yield = request.target_yield;
+      opt_options.population = request.population;
+      opt_options.generations = request.generations;
+      opt_options.seed = request.seed;
+      opt_options.threads = 1;
+      OptEvalConfig eval_config;
+      eval_config.yield_trials = request.trials;
+      eval_config.sigma = request.sigma;
+      eval_config.yield_seed = request.seed;
+      InProcessEvaluator evaluator(circuit, library_, eval_config);
+      const OptimizeResult result =
+          RunMaskingOptimizer(evaluator, opt_options);
+      return EncodeParetoFrontJson(circuit.name(), opt_options, result);
     }
     case ServiceMethod::kStats:
     case ServiceMethod::kShutdown:

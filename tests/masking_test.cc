@@ -567,6 +567,114 @@ TEST(WearoutMonitor, ResetClearsStatistics) {
   EXPECT_EQ(monitor.stats().masked_errors, 0u);
 }
 
+// ------------------------------------------------ partial protection scope
+
+// Four structurally identical ripple comparators over disjoint input pairs:
+// equal depths make every output SPCF-critical, so a 2-of-4 scope leaves
+// exactly two criticals deliberately unprotected.
+Network FourWayRipple(int bits) {
+  Network net("ripple4x" + std::to_string(bits));
+  for (int lane = 0; lane < 4; ++lane) {
+    const std::string tag = std::to_string(lane);
+    std::vector<NodeId> a(static_cast<std::size_t>(bits));
+    std::vector<NodeId> b(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+      a[static_cast<std::size_t>(i)] =
+          net.AddInput("a" + tag + "_" + std::to_string(i));
+    }
+    for (int i = 0; i < bits; ++i) {
+      b[static_cast<std::size_t>(i)] =
+          net.AddInput("b" + tag + "_" + std::to_string(i));
+    }
+    NodeId res = net.AddNode({}, Sop::Const1(0), "res_init" + tag);
+    for (int i = 0; i < bits; ++i) {
+      const std::string s = tag + "_" + std::to_string(i);
+      const NodeId nb = AddNot(net, b[static_cast<std::size_t>(i)], "nb" + s);
+      const NodeId gt =
+          AddAnd(net, {a[static_cast<std::size_t>(i)], nb}, "gt" + s);
+      const NodeId eq = AddXnor2(net, a[static_cast<std::size_t>(i)],
+                                 b[static_cast<std::size_t>(i)], "eq" + s);
+      const NodeId keep = AddAnd(net, {eq, res}, "keep" + s);
+      res = AddOr(net, {gt, keep}, "res" + s);
+    }
+    net.AddOutput("ge" + tag, res);
+  }
+  return net;
+}
+
+TEST(Flow, PartialScopeTwoOfFourOutputs) {
+  const Network ti = FourWayRipple(3);
+  const Library lib = UnitLibrary();
+
+  const FlowResult all = RunMaskingFlow(ti, lib);
+  ASSERT_EQ(all.spcf.critical_outputs.size(), 4u)
+      << "equal-depth lanes must all be critical";
+  ASSERT_TRUE(all.verification.ok());
+
+  FlowOptions o;
+  o.synth.protect_all = false;
+  o.synth.protection_scope = {all.spcf.critical_outputs[0],
+                              all.spcf.critical_outputs[1]};
+  const FlowResult r = RunMaskingFlow(ti, lib, o);
+
+  // The protected half keeps the full guarantee...
+  EXPECT_TRUE(r.verification.safety);
+  EXPECT_TRUE(r.verification.scope_coverage);
+  EXPECT_TRUE(VerifyProtectedEquivalence(r.original, r.protected_circuit));
+  EXPECT_EQ(r.protected_circuit.taps.size(), 2u);
+  EXPECT_EQ(r.overheads.protected_outputs, 2u);
+  EXPECT_EQ(r.overheads.critical_outputs, 4u);
+
+  // ...while the report must account for the two unprotected criticals
+  // instead of quietly claiming 100% coverage.
+  EXPECT_FALSE(r.verification.coverage);
+  EXPECT_FALSE(r.verification.ok());
+  EXPECT_FALSE(r.overheads.coverage_100);
+  EXPECT_DOUBLE_EQ(r.verification.coverage_fraction, 0.0);
+  const std::vector<std::size_t> expected_unprotected = {
+      all.spcf.critical_outputs[2], all.spcf.critical_outputs[3]};
+  EXPECT_EQ(r.verification.unprotected_critical, expected_unprotected);
+  EXPECT_EQ(r.verification.failing_outputs, expected_unprotected);
+
+  // Masking half the lanes must cost less than masking all of them.
+  EXPECT_LT(r.overheads.area_percent, all.overheads.area_percent);
+  EXPECT_LT(r.overheads.power_percent, all.overheads.power_percent);
+}
+
+TEST(Flow, ValidatesScopedOptions) {
+  const Network ti = StructuredComparator();  // one output
+  FlowOptions o;
+
+  o.synth.protect_all = false;  // empty scope
+  EXPECT_THROW(ValidateFlowOptions(o, ti.NumOutputs()), std::invalid_argument);
+
+  o.synth.protection_scope = {0};
+  EXPECT_NO_THROW(ValidateFlowOptions(o, ti.NumOutputs()));
+
+  o.synth.protection_scope = {1};  // out of range for one output
+  EXPECT_THROW(ValidateFlowOptions(o, ti.NumOutputs()), std::invalid_argument);
+
+  MaskingSynthOptions synth;
+  synth.protect_all = false;
+  synth.protection_scope = {2, 0};  // not strictly ascending
+  EXPECT_THROW(ValidateMaskingSynthOptions(synth, 4), std::invalid_argument);
+  synth.protection_scope = {0, 0};
+  EXPECT_THROW(ValidateMaskingSynthOptions(synth, 4), std::invalid_argument);
+  synth.protection_scope = {0, 2};
+  EXPECT_NO_THROW(ValidateMaskingSynthOptions(synth, 4));
+
+  FlowOptions guard;
+  guard.spcf.guard_band = 1.0;  // must be in [0, 1)
+  EXPECT_THROW(ValidateFlowOptions(guard, 1), std::invalid_argument);
+  guard.spcf.guard_band = -0.1;
+  EXPECT_THROW(ValidateFlowOptions(guard, 1), std::invalid_argument);
+
+  // The flow entry points run the same checks before any work.
+  FlowOptions bad;
+  bad.synth.protect_all = false;
+  EXPECT_THROW(RunMaskingFlow(ti, UnitLibrary(), bad), std::invalid_argument);
+}
+
 TEST(Flow, CriticalOutputsGuardValidation) {
   const Library lib = UnitLibrary();
   const MappedNetlist net = Comparator2Mapped(lib);
