@@ -8,6 +8,7 @@
 #include "bdd/bdd.h"
 #include "bdd/bdd_util.h"
 #include "map/mapped_bdd.h"
+#include "sim/batch_sim.h"
 #include "sta/sta.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -534,6 +535,9 @@ InjectionCampaignResult RunInjectionCampaign(
              "guard_band must be in (0, 1), got " << options.guard_band);
   SM_REQUIRE(options.vectors_per_site > 0, "need at least one vector per site");
   SM_REQUIRE(options.chunk > 0, "chunk must be positive");
+  SM_REQUIRE(options.batch_width >= 1 && options.batch_width <= kBatchLanes,
+             "batch_width must be in [1, " << kBatchLanes << "], got "
+                                           << options.batch_width);
   SM_REQUIRE(std::is_sorted(options.waived_outputs.begin(),
                             options.waived_outputs.end()) &&
                  std::adjacent_find(options.waived_outputs.begin(),
@@ -603,27 +607,110 @@ InjectionCampaignResult RunInjectionCampaign(
   };
   std::vector<Slot> slots(trials);
 
-  ThreadPool pool(options.threads);
-  pool.ParallelFor(
-      0, trials, options.chunk, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t t = lo; t < hi; ++t) {
-          const std::size_t site_index = t / options.vectors_per_site;
-          const std::size_t vector_index = t % options.vectors_per_site;
-          const TrialSetup s =
-              MakeTrialSetup(prot.NumInputs(), options, delta,
-                             sites[site_index], contexts[site_index], t,
-                             vector_index);
-          std::size_t escaping = 0;
-          std::size_t taps = 0;
-          Slot slot;
-          slot.outcome = ClassifyFaultTrial(
-              protected_circuit, s.fault, s.previous, s.next, clock,
-              protected_clock, &escaping, &taps, &options.waived_outputs);
-          slot.escaping_output = static_cast<std::uint32_t>(escaping);
-          slot.masked_taps = static_cast<std::uint32_t>(taps);
-          slots[t] = slot;
+  // Batched-run telemetry per chunk slot — thread-count invariant because
+  // the packing depends only on the chunk boundaries.
+  const std::size_t num_chunks = (trials + options.chunk - 1) / options.chunk;
+  std::vector<std::uint64_t> chunk_words(num_chunks, 0);
+  std::vector<std::uint64_t> chunk_lanes(num_chunks, 0);
+
+  const auto run_trials_scalar = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t site_index = t / options.vectors_per_site;
+      const std::size_t vector_index = t % options.vectors_per_site;
+      const TrialSetup s =
+          MakeTrialSetup(prot.NumInputs(), options, delta, sites[site_index],
+                         contexts[site_index], t, vector_index);
+      std::size_t escaping = 0;
+      std::size_t taps = 0;
+      Slot slot;
+      slot.outcome = ClassifyFaultTrial(
+          protected_circuit, s.fault, s.previous, s.next, clock,
+          protected_clock, &escaping, &taps, &options.waived_outputs);
+      slot.escaping_output = static_cast<std::uint32_t>(escaping);
+      slot.masked_taps = static_cast<std::uint32_t>(taps);
+      slots[t] = slot;
+    }
+  };
+
+  // Batched path: each lane carries one (fault, vector) trial — a sparse
+  // extra-delay override for a permanent fault, a per-lane transient for a
+  // one-shot edge — and lane classification mirrors ClassifyFaultTrial.
+  const auto run_trials_batched = [&](std::size_t lo, std::size_t hi) {
+    const auto width = static_cast<std::size_t>(options.batch_width);
+    BatchEventSim engine(prot);
+    std::vector<TrialSetup> setups(width);
+    std::vector<std::uint64_t> prev_words(prot.NumInputs());
+    std::vector<std::uint64_t> next_words(prot.NumInputs());
+    for (std::size_t base = lo; base < hi; base += width) {
+      const int count = static_cast<int>(std::min(width, hi - base));
+      BatchEventSimConfig cfg;
+      cfg.clock = protected_clock;
+      cfg.lanes = count;
+      std::fill(prev_words.begin(), prev_words.end(), 0);
+      std::fill(next_words.begin(), next_words.end(), 0);
+      for (int l = 0; l < count; ++l) {
+        const std::size_t t = base + static_cast<std::size_t>(l);
+        const std::size_t site_index = t / options.vectors_per_site;
+        const std::size_t vector_index = t % options.vectors_per_site;
+        TrialSetup& s = setups[static_cast<std::size_t>(l)];
+        s = MakeTrialSetup(prot.NumInputs(), options, delta,
+                           sites[site_index], contexts[site_index], t,
+                           vector_index);
+        if (s.fault.kind == FaultKind::kPermanentDelta) {
+          cfg.extra_overrides.push_back(
+              BatchDelayOverride{l, s.fault.site, s.fault.delta});
+        } else {
+          cfg.transient_faults.push_back(BatchTransientFault{
+              l, s.fault.site, s.fault.transition_index, s.fault.delta});
         }
-      });
+        for (std::size_t v = 0; v < s.previous.size(); ++v) {
+          if (s.previous[v]) prev_words[v] |= 1ull << l;
+          if (s.next[v]) next_words[v] |= 1ull << l;
+        }
+      }
+      const BatchEventSimResult& sim = engine.Run(prev_words, next_words, cfg);
+      chunk_words[lo / options.chunk] += 1;
+      chunk_lanes[lo / options.chunk] += static_cast<std::uint64_t>(count);
+      for (int l = 0; l < count; ++l) {
+        const std::size_t t = base + static_cast<std::size_t>(l);
+        Slot slot;
+        bool escaped = false;
+        for (std::size_t i = 0; i < prot.NumOutputs() && !escaped; ++i) {
+          if (!sim.TimingErrorAt(prot.output(i).driver, l)) continue;
+          if (std::binary_search(options.waived_outputs.begin(),
+                                 options.waived_outputs.end(), i)) {
+            continue;
+          }
+          slot.outcome = InjectOutcome::kEscape;
+          slot.escaping_output = static_cast<std::uint32_t>(i);
+          escaped = true;
+        }
+        if (!escaped) {
+          std::uint32_t taps = 0;
+          for (const ProtectedCircuit::Tap& tap : protected_circuit.taps) {
+            if (sim.SettleAt(tap.original, l) > clock + kEps &&
+                sim.SampledAt(tap.indicator, l)) {
+              ++taps;
+            }
+          }
+          slot.masked_taps = taps;
+          slot.outcome =
+              taps > 0 ? InjectOutcome::kMasked : InjectOutcome::kBenign;
+        }
+        slots[t] = slot;
+      }
+    }
+  };
+
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(0, trials, options.chunk,
+                   [&](std::size_t lo, std::size_t hi) {
+                     if (options.use_batch_sim) {
+                       run_trials_batched(lo, hi);
+                     } else {
+                       run_trials_scalar(lo, hi);
+                     }
+                   });
 
   // Sequential reduction in trial order — deterministic at any thread count.
   r.trials = trials;
@@ -671,6 +758,15 @@ InjectionCampaignResult RunInjectionCampaign(
     }
   }
 
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    r.words_simulated += chunk_words[c];
+    r.lanes_simulated += chunk_lanes[c];
+  }
+  r.lane_utilization =
+      r.words_simulated > 0
+          ? static_cast<double>(r.lanes_simulated) /
+                (static_cast<double>(r.words_simulated) * kBatchLanes)
+          : 0;
   r.seconds = timer.Seconds();
   r.trials_per_second = r.seconds > 0 ? trials / r.seconds : 0;
   return r;

@@ -103,8 +103,15 @@ struct InjectOptions {
   bool sensitize = true;
   std::size_t bdd_node_limit = 8'000'000;  // sensitization manager cap
   int threads = 1;
-  std::size_t chunk = 16;  // trials per thread-pool task
+  std::size_t chunk = 64;  // trials per thread-pool task (one full batch)
   std::uint64_t seed = 2009;
+  // Pack each chunk's trials into 64-lane batched simulation runs
+  // (batch_sim.h): per-lane sparse extra-delay overrides model permanent
+  // faults, per-lane transient faults model one-shot edges. Outcomes are
+  // bit-identical to the scalar path, which stays available for
+  // benchmarking and differential testing.
+  bool use_batch_sim = true;
+  int batch_width = 64;  // lanes per batched run, in [1, 64]
   // Minimize escapes into smallest reproducers (sequential, deterministic).
   bool shrink = true;
   std::size_t max_shrink_escapes = 4;
@@ -156,6 +163,13 @@ struct InjectionCampaignResult {
   std::vector<EscapeRecord> escape_records;  // first max_escape_records
   double seconds = 0;
   double trials_per_second = 0;
+
+  // Batched-simulation telemetry (zero on the scalar path); deterministic
+  // for fixed options and excluded from the scalar-vs-batched identity
+  // contract over the semantic fields above.
+  std::uint64_t words_simulated = 0;
+  std::uint64_t lanes_simulated = 0;
+  double lane_utilization = 0;  // lanes / (words * 64)
 
   bool GuaranteeHolds() const { return escapes == 0; }
 };

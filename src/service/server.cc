@@ -421,6 +421,8 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       yield_options.model.sigma = request.sigma;
       yield_options.guard_band = request.guard;
       const YieldMcResult yield = EstimateTimingYield(flow, yield_options);
+      sim_words_.fetch_add(yield.words_simulated, std::memory_order_relaxed);
+      sim_lanes_.fetch_add(yield.lanes_simulated, std::memory_order_relaxed);
       return EncodeYieldResult(flow, yield);
     }
     case ServiceMethod::kInjectCampaign: {
@@ -440,6 +442,10 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       inject_options.threads = 1;  // workers are already the parallel axis
       const InjectionCampaignResult campaign =
           RunFaultInjectionCampaign(flow, inject_options);
+      sim_words_.fetch_add(campaign.words_simulated,
+                           std::memory_order_relaxed);
+      sim_lanes_.fetch_add(campaign.lanes_simulated,
+                           std::memory_order_relaxed);
       return EncodeInjectResult(flow, request, campaign);
     }
     case ServiceMethod::kOptimizeMasking: {
@@ -597,6 +603,8 @@ ServiceStatsSnapshot SpeedmaskServer::SnapshotStats() {
   s.queue_capacity = options_.queue_capacity;
   s.workers = options_.num_workers;
   s.manager_resets = manager_resets_.load(std::memory_order_relaxed);
+  s.sim_words_simulated = sim_words_.load(std::memory_order_relaxed);
+  s.sim_lanes_simulated = sim_lanes_.load(std::memory_order_relaxed);
   for (const auto& ctx : worker_contexts_) {
     const std::size_t nodes =
         ctx->published_nodes.load(std::memory_order_relaxed);
@@ -656,6 +664,10 @@ std::string ServiceStatsSnapshot::ToResultJson() const {
   obj.Set("manager_nodes", manager_nodes);
   obj.Set("manager_gc_runs", manager_gc_runs);
   obj.Set("manager_reorder_runs", manager_reorder_runs);
+  Json sim = Json::MakeObject();
+  sim.Set("words_simulated", sim_words_simulated);
+  sim.Set("lanes_simulated", sim_lanes_simulated);
+  obj.Set("batch_sim", std::move(sim));
   Json worker_arr = Json::MakeArray();
   for (std::size_t i = 0; i < worker_nodes.size(); ++i) {
     Json w = Json::MakeObject();

@@ -98,6 +98,11 @@ struct ServiceStatsSnapshot {
   std::size_t manager_nodes = 0;  // live nodes across worker managers
   std::uint64_t manager_gc_runs = 0;       // collections across workers
   std::uint64_t manager_reorder_runs = 0;  // sifting passes across workers
+  // Batched-simulation telemetry accumulated over estimate_yield and
+  // inject_campaign requests (stats-only: the cached result encoders never
+  // see these, so result bytes stay identical cold/warm/batched).
+  std::uint64_t sim_words_simulated = 0;  // 64-lane engine runs
+  std::uint64_t sim_lanes_simulated = 0;  // trial transitions packed
   // Per-worker warm-manager telemetry, indexed by worker slot.
   std::vector<std::size_t> worker_nodes;
   std::vector<std::uint64_t> worker_gc_runs;
@@ -201,6 +206,8 @@ class SpeedmaskServer {
   std::atomic<std::uint64_t> rejected_shutting_down_{0};
   std::atomic<std::uint64_t> write_failures_{0};
   std::atomic<std::uint64_t> manager_resets_{0};
+  std::atomic<std::uint64_t> sim_words_{0};
+  std::atomic<std::uint64_t> sim_lanes_{0};
 
   std::mutex latency_mutex_;
   std::vector<double> latency_ring_;

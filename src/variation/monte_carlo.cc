@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/batch_sim.h"
 #include "sim/event_sim.h"
 #include "sta/sta.h"
 #include "util/check.h"
@@ -31,6 +32,20 @@ struct TrialOutcome {
   std::uint32_t masked_events = 0;
   std::uint32_t residual_events = 0;
   double log_weight = 0;
+};
+
+// A violating trial's deferred classification work: the pattern pairs the
+// scalar path would simulate one by one, kept with the trial's delay plane
+// so a chunk's trials can be packed into 64-lane batched runs. The per-
+// transition counts come back lane by lane and the reduction replays the
+// scalar early-exit bookkeeping, so the outcome is bit-identical.
+struct TrialPlan {
+  std::size_t trial = 0;
+  std::vector<double> scale;
+  std::vector<std::vector<bool>> prev;
+  std::vector<std::vector<bool>> next;
+  std::vector<std::uint32_t> err_counts;
+  std::vector<std::uint32_t> tap_counts;
 };
 
 bool AnyOutputLate(const MappedNetlist& net, const TimingInfo& timing,
@@ -137,6 +152,9 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
                                const YieldMcOptions& options) {
   SM_REQUIRE(options.trials > 0, "need at least one trial");
   SM_REQUIRE(options.chunk > 0, "chunk must be positive");
+  SM_REQUIRE(options.batch_width >= 1 && options.batch_width <= kBatchLanes,
+             "batch_width must be in [1, " << kBatchLanes << "], got "
+                                           << options.batch_width);
   const MappedNetlist& prot = protected_circuit.netlist;
 
   // Nominal timing fixes the clock and (for importance sampling) the set of
@@ -207,7 +225,14 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
   (void)original.Fanouts();
 
   std::vector<TrialOutcome> outcomes(options.trials);
-  const auto run_trial = [&](std::size_t t) {
+  // With `plan == nullptr` the trial is classified inline through the scalar
+  // engine (the original path, kept as the differential oracle). With a plan
+  // the simulations are deferred: the same RNG stream generates the same
+  // pattern pairs, which the caller packs into batched runs. The only
+  // divergence is that the plan generates every transition while the scalar
+  // loop stops generating after the first residual one — those draws come
+  // from the trial's private classify stream, so nothing downstream shifts.
+  const auto run_trial = [&](std::size_t t, TrialPlan* plan) {
     TrialOutcome& out = outcomes[t];
     ShiftedSample sample = sampler.SampleShifted(options.seed, t, shift);
     out.log_weight = sample.log_weight;
@@ -268,7 +293,7 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
     Rng rng = Rng::ForStream(options.seed, t + kClassifyStreamOffset);
     EventSimConfig cfg;
     cfg.clock = prot_clock;
-    cfg.delay_scale = sample.scale;
+    if (plan == nullptr) cfg.delay_scale = sample.scale;
     for (int i = 0; i < options.classify_transitions; ++i) {
       std::vector<bool> next(prot.NumInputs());
       for (std::size_t v = 0; v < next.size(); ++v) next[v] = rng.Chance(0.5);
@@ -292,6 +317,11 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
           prev[v] = rng.Chance(0.5);
         }
       }
+      if (plan != nullptr) {
+        plan->prev.push_back(std::move(prev));
+        plan->next.push_back(std::move(next));
+        continue;
+      }
       const EventSimResult sim = SimulateTransition(prot, prev, next, cfg);
       for (const auto& o : prot.outputs()) {
         if (sim.TimingErrorAt(o.driver)) {
@@ -310,7 +340,117 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
       }
       if (out.residual) break;  // classified; spare the remaining budget
     }
+    if (plan != nullptr && !plan->prev.empty()) {
+      plan->trial = t;
+      plan->scale = std::move(sample.scale);
+      return;
+    }
     out.excited = out.masked_events > 0 || out.residual_events > 0;
+  };
+
+  // Counts one lane of a batched run against the trial's outcome slots —
+  // the loop bodies match the scalar path's output/tap scans above.
+  const auto count_lane = [&](const BatchEventSimResult& sim, int lane,
+                              TrialPlan& plan, std::size_t transition) {
+    std::uint32_t errs = 0;
+    for (const auto& o : prot.outputs()) {
+      if (sim.TimingErrorAt(o.driver, lane)) ++errs;
+    }
+    std::uint32_t taps = 0;
+    for (const auto& tap : protected_circuit.taps) {
+      if (sim.SampledAt(tap.indicator, lane) &&
+          sim.SettleAt(tap.original, lane) > clock + kEps) {
+        ++taps;
+      }
+    }
+    plan.err_counts[transition] = errs;
+    plan.tap_counts[transition] = taps;
+  };
+
+  // Batched-run telemetry per chunk slot: the packing depends only on the
+  // chunk boundaries, so the totals are thread-count invariant.
+  const std::size_t num_chunks =
+      (options.trials + options.chunk - 1) / options.chunk;
+  std::vector<std::uint64_t> chunk_words(num_chunks, 0);
+  std::vector<std::uint64_t> chunk_lanes(num_chunks, 0);
+
+  const int width = options.batch_width;
+  const auto run_chunk_batched = [&](std::size_t lo, std::size_t hi) {
+    // Phase A: STA + escape scan per trial; violating trials leave their
+    // classification patterns and delay plane in a plan.
+    std::vector<TrialPlan> pending;
+    for (std::size_t t = lo; t < hi; ++t) {
+      TrialPlan plan;
+      run_trial(t, &plan);
+      if (!plan.prev.empty()) pending.push_back(std::move(plan));
+    }
+    if (pending.empty()) return;
+
+    // Phase B: flatten every (trial, transition) into lanes and run the
+    // batched engine `width` lanes at a time. Lanes of one trial share its
+    // delay plane by pointer.
+    struct LaneRef {
+      std::size_t plan_index;
+      std::size_t transition;
+    };
+    std::vector<LaneRef> lanes;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      pending[i].err_counts.assign(pending[i].prev.size(), 0);
+      pending[i].tap_counts.assign(pending[i].prev.size(), 0);
+      for (std::size_t j = 0; j < pending[i].prev.size(); ++j) {
+        lanes.push_back(LaneRef{i, j});
+      }
+    }
+    BatchEventSim engine(prot);
+    std::vector<std::uint64_t> prev_words(prot.NumInputs());
+    std::vector<std::uint64_t> next_words(prot.NumInputs());
+    std::uint64_t words = 0;
+    for (std::size_t base = 0; base < lanes.size();
+         base += static_cast<std::size_t>(width)) {
+      const int count = static_cast<int>(
+          std::min(lanes.size() - base, static_cast<std::size_t>(width)));
+      BatchEventSimConfig cfg;
+      cfg.clock = prot_clock;
+      cfg.lanes = count;
+      std::fill(prev_words.begin(), prev_words.end(), 0);
+      std::fill(next_words.begin(), next_words.end(), 0);
+      for (int l = 0; l < count; ++l) {
+        const LaneRef& ref = lanes[base + static_cast<std::size_t>(l)];
+        const TrialPlan& plan = pending[ref.plan_index];
+        cfg.delay_scale[static_cast<std::size_t>(l)] = plan.scale.data();
+        const std::vector<bool>& pv = plan.prev[ref.transition];
+        const std::vector<bool>& nv = plan.next[ref.transition];
+        for (std::size_t v = 0; v < pv.size(); ++v) {
+          if (pv[v]) prev_words[v] |= 1ull << l;
+          if (nv[v]) next_words[v] |= 1ull << l;
+        }
+      }
+      const BatchEventSimResult& sim = engine.Run(prev_words, next_words, cfg);
+      ++words;
+      for (int l = 0; l < count; ++l) {
+        const LaneRef& ref = lanes[base + static_cast<std::size_t>(l)];
+        count_lane(sim, l, pending[ref.plan_index], ref.transition);
+      }
+    }
+    chunk_words[lo / options.chunk] += words;
+    chunk_lanes[lo / options.chunk] += lanes.size();
+
+    // Phase C: fold the per-transition counts back in scalar order,
+    // replaying the scalar loop's stop-after-first-residual-transition
+    // bookkeeping (including the structurally-residual case, which the
+    // scalar path simulates for exactly one transition).
+    for (TrialPlan& plan : pending) {
+      TrialOutcome& out = outcomes[plan.trial];
+      for (std::size_t j = 0; j < plan.err_counts.size(); ++j) {
+        if (plan.err_counts[j] > 0) {
+          out.residual_events += plan.err_counts[j];
+          out.residual = true;
+        }
+        out.masked_events += plan.tap_counts[j];
+        if (out.residual) break;
+      }
+      out.excited = out.masked_events > 0 || out.residual_events > 0;
+    }
   };
 
   WallTimer timer;
@@ -318,7 +458,13 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
     ThreadPool pool(options.threads);
     pool.ParallelFor(0, options.trials, options.chunk,
                      [&](std::size_t lo, std::size_t hi) {
-                       for (std::size_t t = lo; t < hi; ++t) run_trial(t);
+                       if (options.use_batch_sim) {
+                         run_chunk_batched(lo, hi);
+                       } else {
+                         for (std::size_t t = lo; t < hi; ++t) {
+                           run_trial(t, nullptr);
+                         }
+                       }
                      });
   }
 
@@ -362,6 +508,15 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
     r.relative_error = mean > 0 ? r.residual_stderr / mean : 0;
   }
   r.effective_samples = sum_w2 > 0 ? (sum_w * sum_w) / sum_w2 : 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    r.words_simulated += chunk_words[c];
+    r.lanes_simulated += chunk_lanes[c];
+  }
+  r.lane_utilization =
+      r.words_simulated > 0
+          ? static_cast<double>(r.lanes_simulated) /
+                (static_cast<double>(r.words_simulated) * kBatchLanes)
+          : 0;
   r.seconds = timer.Seconds();
   r.trials_per_second = r.seconds > 0 ? n / r.seconds : 0;
   return r;

@@ -72,6 +72,15 @@ struct YieldMcOptions {
   // remainder is treated as masked.
   std::size_t scan_budget = 200000;
 
+  // Pack the classification simulations of a chunk's violating trials into
+  // the 64-lane batched engine (batch_sim.h) instead of running them one at
+  // a time. Results are bit-identical either way — the scalar path stays as
+  // the differential oracle and stays benchmarkable via `--batch=off`.
+  bool use_batch_sim = true;
+  // Lanes packed per batched run, in [1, 64]. Smaller widths exist for the
+  // width-identity tests; throughput wants 64.
+  int batch_width = 64;
+
   bool importance_sampling = false;
   // Total shift magnitude ‖μ‖ in sigmas, toward slowdown, distributed over
   // the low-slack gates proportionally to (window − slack) and
@@ -106,6 +115,14 @@ struct YieldMcResult {
   double protected_clock = 0;  // clock + mux compensation
   double seconds = 0;
   double trials_per_second = 0;
+
+  // Batched-simulation telemetry (zero on the scalar path). Deterministic
+  // for fixed options — chunk boundaries, not thread scheduling, decide the
+  // packing — but excluded from the scalar-vs-batched identity contract,
+  // which covers only the semantic fields above.
+  std::uint64_t words_simulated = 0;     // batched engine runs
+  std::uint64_t lanes_simulated = 0;     // transitions packed into them
+  double lane_utilization = 0;           // lanes / (words * 64)
 
   double ConfidenceInterval95() const { return 1.96 * residual_stderr; }
 };

@@ -1,0 +1,425 @@
+// Differential tests for the 64-lane batched event simulator: every lane of
+// every batch must be bit-identical to the scalar engine — sampled/settled
+// bits, settle times and event counts — across random netlists, random
+// per-lane delay assignments, transient faults and partial final batches.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "harness/flow.h"
+#include "harness/inject.h"
+#include "harness/yield.h"
+#include "liblib/lsi10k.h"
+#include "map/tech_map.h"
+#include "sim/batch_sim.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+#include "sta/sta.h"
+#include "suite/circuit_gen.h"
+#include "suite/structured.h"
+#include "util/rng.h"
+
+namespace sm {
+namespace {
+
+MappedNetlist MakeFuzzNetlist(CircuitSpec::Profile profile, std::uint64_t seed,
+                              const Library& lib) {
+  CircuitSpec spec;
+  spec.name = profile == CircuitSpec::Profile::kDenseControl ? "fuzz_dense"
+                                                             : "fuzz_sliced";
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.target_nodes = 90;
+  spec.profile = profile;
+  spec.seed = seed;
+  return DecomposeAndMap(GenerateCircuit(spec), lib).netlist;
+}
+
+std::vector<bool> LanePattern(const std::vector<std::uint64_t>& words,
+                              int lane) {
+  std::vector<bool> bits(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    bits[i] = (words[i] >> lane) & 1u;
+  }
+  return bits;
+}
+
+// Rebuilds lane `lane` of the batched config as a scalar EventSimConfig,
+// replicating the batched engine's effective-extra computation (base plane
+// plus overrides, added in order) so the doubles are bitwise equal.
+EventSimConfig ScalarConfigForLane(const BatchEventSimConfig& cfg,
+                                   std::size_t num_elements, int lane) {
+  EventSimConfig scalar;
+  scalar.clock = cfg.clock;
+  const double* scale = cfg.delay_scale[static_cast<std::size_t>(lane)];
+  if (scale != nullptr) scalar.delay_scale.assign(scale, scale + num_elements);
+  const double* extra = cfg.extra_delay[static_cast<std::size_t>(lane)];
+  bool has_extra = extra != nullptr;
+  for (const BatchDelayOverride& o : cfg.extra_overrides) {
+    has_extra = has_extra || o.lane == lane;
+  }
+  if (has_extra) {
+    if (extra != nullptr) {
+      scalar.extra_delay.assign(extra, extra + num_elements);
+    } else {
+      scalar.extra_delay.assign(num_elements, 0.0);
+    }
+    for (const BatchDelayOverride& o : cfg.extra_overrides) {
+      if (o.lane == lane) scalar.extra_delay[o.gate] += o.delta;
+    }
+  }
+  for (const BatchTransientFault& f : cfg.transient_faults) {
+    if (f.lane == lane) {
+      scalar.transient_faults.push_back(
+          TransientFault{f.gate, f.transition_index, f.delta});
+    }
+  }
+  return scalar;
+}
+
+void ExpectLaneMatchesScalar(const MappedNetlist& net,
+                             const BatchEventSimResult& batch,
+                             const EventSimResult& scalar, int lane) {
+  for (GateId id = 0; id < net.NumElements(); ++id) {
+    ASSERT_EQ(batch.SampledAt(id, lane), scalar.sampled[id])
+        << "sampled mismatch at element " << id << " lane " << lane;
+    ASSERT_EQ(batch.SettledAt(id, lane), scalar.settled[id])
+        << "settled mismatch at element " << id << " lane " << lane;
+    ASSERT_EQ(batch.SettleAt(id, lane), scalar.settle_at[id])
+        << "settle_at mismatch at element " << id << " lane " << lane;
+    ASSERT_EQ(batch.TimingErrorAt(id, lane), scalar.TimingErrorAt(id))
+        << "timing-error mismatch at element " << id << " lane " << lane;
+  }
+  ASSERT_EQ(batch.lane_events[static_cast<std::size_t>(lane)], scalar.events)
+      << "event count mismatch in lane " << lane;
+}
+
+TEST(BatchSim, FuzzDifferentialMatchesScalar) {
+  const Library lib = Lsi10kLike();
+  const std::array<CircuitSpec::Profile, 2> profiles = {
+      CircuitSpec::Profile::kDenseControl,
+      CircuitSpec::Profile::kSlicedControl};
+  const std::array<int, 3> widths = {64, 7, 1};
+  int total_timing_errors = 0;
+
+  for (std::size_t c = 0; c < profiles.size(); ++c) {
+    const MappedNetlist net =
+        MakeFuzzNetlist(profiles[c], 17 + c, lib);
+    const std::size_t n = net.NumElements();
+    const double clock = 0.6 * AnalyzeTiming(net).critical_delay;
+    std::vector<GateId> gates;
+    for (GateId id = 0; id < n; ++id) {
+      if (!net.IsInput(id) && !net.cell(id).IsConstant()) gates.push_back(id);
+    }
+    BatchEventSim engine(net);
+
+    // Shared storage for the dense planes lanes point into; stable addresses
+    // across the Run (lanes may share a plane, like an MC chunk does).
+    std::vector<std::vector<double>> scale_store;
+    std::vector<std::vector<double>> extra_store;
+    scale_store.reserve(kBatchLanes);
+    extra_store.reserve(kBatchLanes);
+
+    for (std::size_t round = 0; round < widths.size() * 2; ++round) {
+      const int lanes = widths[round % widths.size()];
+      Rng rng = Rng::ForStream(0xBA7C4 + c, round);
+      scale_store.clear();
+      extra_store.clear();
+
+      BatchEventSimConfig cfg;
+      cfg.clock = clock;
+      cfg.lanes = lanes;
+      std::vector<std::uint64_t> prev(net.NumInputs());
+      std::vector<std::uint64_t> next(net.NumInputs());
+      for (auto& w : prev) w = rng.Next();
+      for (auto& w : next) w = rng.Next();
+
+      for (int l = 0; l < lanes; ++l) {
+        switch (rng.Below(5)) {
+          case 0:  // nominal delays
+            break;
+          case 1: {  // fresh per-lane scale plane
+            std::vector<double> s(n, 1.0);
+            for (std::size_t g = 0; g < n; ++g) {
+              s[g] = 0.5 + rng.Uniform();
+            }
+            scale_store.push_back(std::move(s));
+            cfg.delay_scale[static_cast<std::size_t>(l)] =
+                scale_store.back().data();
+            break;
+          }
+          case 2:  // plane shared with an earlier lane, if any
+            if (!scale_store.empty()) {
+              cfg.delay_scale[static_cast<std::size_t>(l)] =
+                  scale_store.front().data();
+            }
+            break;
+          case 3: {  // dense extra plane plus a sparse override
+            std::vector<double> e(n, 0.0);
+            for (std::size_t g = 0; g < n; ++g) {
+              e[g] = rng.Uniform();
+            }
+            extra_store.push_back(std::move(e));
+            cfg.extra_delay[static_cast<std::size_t>(l)] =
+                extra_store.back().data();
+            cfg.extra_overrides.push_back(BatchDelayOverride{
+                l, gates[rng.Below(gates.size())], 2.0 * rng.Uniform()});
+            break;
+          }
+          case 4:  // sparse override only (campaign-style permanent fault)
+            cfg.extra_overrides.push_back(BatchDelayOverride{
+                l, gates[rng.Below(gates.size())], 3.0 * rng.Uniform()});
+            break;
+        }
+        if (rng.Chance(0.4)) {  // transient faults ride along any mode
+          cfg.transient_faults.push_back(
+              BatchTransientFault{l, gates[rng.Below(gates.size())],
+                                  rng.Below(3), 3.0 * rng.Uniform()});
+        }
+      }
+
+      const BatchEventSimResult& batch = engine.Run(prev, next, cfg);
+      for (int l = 0; l < lanes; ++l) {
+        const EventSimConfig scalar_cfg = ScalarConfigForLane(cfg, n, l);
+        const EventSimResult scalar = SimulateTransition(
+            net, LanePattern(prev, l), LanePattern(next, l), scalar_cfg);
+        ExpectLaneMatchesScalar(net, batch, scalar, l);
+        for (const auto& o : net.outputs()) {
+          if (scalar.TimingErrorAt(o.driver)) ++total_timing_errors;
+        }
+      }
+    }
+  }
+  // The fuzz must actually exercise the timing-error plane, not just settle.
+  EXPECT_GT(total_timing_errors, 0);
+}
+
+TEST(BatchSim, TransientFaultIsConfinedToItsLane) {
+  const Library lib = Lsi10kLike();
+  MappedNetlist net("chain");
+  const GateId a = net.AddInput("a");
+  const Cell* buf = lib.ByNameOrThrow("BUF");
+  const GateId g1 = net.AddGate(buf, {a}, "g1");
+  const GateId g2 = net.AddGate(buf, {g1}, "g2");
+  net.AddOutput("y", g2);
+
+  const double unit = net.cell(g1).pin_delay(0);
+  BatchEventSim engine(net);
+  BatchEventSimConfig cfg;
+  cfg.lanes = 3;
+  cfg.clock = 2.5 * unit;
+  // Lane 1's first edge at g1 is pushed past the clock; lanes 0 and 2 see
+  // the nominal chain.
+  cfg.transient_faults.push_back(BatchTransientFault{1, g1, 0, 2.0 * unit});
+  const std::vector<std::uint64_t> prev = {0b000};
+  const std::vector<std::uint64_t> nxt = {0b111};
+  const BatchEventSimResult& r = engine.Run(prev, nxt, cfg);
+
+  for (int l : {0, 2}) {
+    EXPECT_FALSE(r.TimingErrorAt(g2, l));
+    EXPECT_EQ(r.SettleAt(g2, l), 2.0 * unit);
+  }
+  EXPECT_TRUE(r.TimingErrorAt(g2, 1));
+  EXPECT_EQ(r.SettleAt(g2, 1), 4.0 * unit);
+  EXPECT_EQ(r.TimingErrorWord(g2), 0b010u);
+  EXPECT_EQ(r.lane_events[0], 3u);
+  EXPECT_EQ(r.lane_events[1], 3u);
+}
+
+TEST(BatchSim, ValidatesConfig) {
+  const Library lib = Lsi10kLike();
+  MappedNetlist net("tiny");
+  const GateId a = net.AddInput("a");
+  const GateId g = net.AddGate(lib.ByNameOrThrow("INV"), {a}, "g");
+  net.AddOutput("y", g);
+  BatchEventSim engine(net);
+  const std::vector<std::uint64_t> w = {0};
+
+  BatchEventSimConfig cfg;
+  cfg.lanes = 0;
+  EXPECT_THROW(engine.Run(w, w, cfg), std::invalid_argument);
+  cfg.lanes = kBatchLanes + 1;
+  EXPECT_THROW(engine.Run(w, w, cfg), std::invalid_argument);
+
+  cfg = BatchEventSimConfig{};
+  EXPECT_THROW(engine.Run({}, w, cfg), std::invalid_argument);
+
+  cfg = BatchEventSimConfig{};
+  const std::vector<double> bad_scale = {1.0, -0.5};
+  cfg.delay_scale[0] = bad_scale.data();
+  EXPECT_THROW(engine.Run(w, w, cfg), std::invalid_argument);
+
+  cfg = BatchEventSimConfig{};
+  cfg.extra_overrides.push_back(BatchDelayOverride{63, g, 1.0});
+  cfg.lanes = 2;  // override lane beyond the active width
+  EXPECT_THROW(engine.Run(w, w, cfg), std::invalid_argument);
+
+  cfg = BatchEventSimConfig{};
+  cfg.transient_faults.push_back(BatchTransientFault{0, a, 0, 1.0});
+  EXPECT_THROW(engine.Run(w, w, cfg), std::invalid_argument);  // input site
+
+  cfg = BatchEventSimConfig{};
+  cfg.clock = -1.0;
+  EXPECT_THROW(engine.Run(w, w, cfg), std::invalid_argument);
+}
+
+TEST(LogicSim, SteadyStateParallelMatchesScalar) {
+  const Library lib = Lsi10kLike();
+  const MappedNetlist net =
+      MakeFuzzNetlist(CircuitSpec::Profile::kDenseControl, 5, lib);
+  Rng rng = Rng::ForStream(99, 0);
+  const auto words = RandomInputWords(net.NumInputs(), rng);
+  const auto batch = SteadyStateParallel(net, words);
+  ASSERT_EQ(batch.size(), net.NumElements());
+  for (int lane = 0; lane < 64; lane += 13) {
+    const auto scalar = SteadyState(net, LanePattern(words, lane));
+    for (GateId id = 0; id < net.NumElements(); ++id) {
+      ASSERT_EQ((batch[id] >> lane) & 1u, scalar[id] ? 1u : 0u)
+          << "element " << id << " lane " << lane;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consumer bit-identity: the Monte-Carlo yield engine and the injection
+// campaign must produce identical results (doubles included) whether they
+// classify trials through the scalar engine or the batched one, at any batch
+// width and thread count.
+
+class BatchConsumersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new Library(Lsi10kLike());
+    flow_ = new FlowResult(RunMaskingFlow(RippleComparatorNetwork(6), *lib_));
+    ASSERT_TRUE(flow_->verification.ok());
+  }
+  static void TearDownTestSuite() {
+    delete flow_;
+    delete lib_;
+    flow_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  static Library* lib_;
+  static FlowResult* flow_;
+};
+
+Library* BatchConsumersTest::lib_ = nullptr;
+FlowResult* BatchConsumersTest::flow_ = nullptr;
+
+void ExpectSameYield(const YieldMcResult& a, const YieldMcResult& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.violations_original, b.violations_original);
+  EXPECT_EQ(a.violations_protected, b.violations_protected);
+  EXPECT_EQ(a.masked_trials, b.masked_trials);
+  EXPECT_EQ(a.residual_trials, b.residual_trials);
+  EXPECT_EQ(a.unexcited_trials, b.unexcited_trials);
+  EXPECT_EQ(a.scan_truncations, b.scan_truncations);
+  EXPECT_EQ(a.masked_events, b.masked_events);
+  EXPECT_EQ(a.residual_events, b.residual_events);
+  EXPECT_EQ(a.yield_original, b.yield_original);
+  EXPECT_EQ(a.yield_protected, b.yield_protected);
+  EXPECT_EQ(a.residual_rate, b.residual_rate);
+  EXPECT_EQ(a.residual_stderr, b.residual_stderr);
+  EXPECT_EQ(a.relative_error, b.relative_error);
+  EXPECT_EQ(a.effective_samples, b.effective_samples);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.protected_clock, b.protected_clock);
+}
+
+void ExpectSameCampaign(const InjectionCampaignResult& a,
+                        const InjectionCampaignResult& b) {
+  EXPECT_EQ(a.sites, b.sites);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.masked_events, b.masked_events);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.delta, b.delta);
+  ASSERT_EQ(a.escape_records.size(), b.escape_records.size());
+  for (std::size_t i = 0; i < a.escape_records.size(); ++i) {
+    const EscapeRecord& x = a.escape_records[i];
+    const EscapeRecord& y = b.escape_records[i];
+    EXPECT_EQ(x.trial, y.trial);
+    EXPECT_EQ(x.site, y.site);
+    EXPECT_EQ(x.transition_index, y.transition_index);
+    EXPECT_EQ(x.delta, y.delta);
+    EXPECT_EQ(x.previous, y.previous);
+    EXPECT_EQ(x.next, y.next);
+    EXPECT_EQ(x.output_index, y.output_index);
+  }
+}
+
+TEST_F(BatchConsumersTest, YieldMcBitIdenticalAcrossWidthsAndThreads) {
+  YieldMcOptions options;
+  options.trials = 400;
+  options.seed = 20090209;
+  options.model.sigma = 0.15;
+  options.classify_transitions = 4;
+  options.use_batch_sim = false;
+  const YieldMcResult scalar = EstimateTimingYield(*flow_, options);
+  ASSERT_GT(scalar.violations_protected, 0u)
+      << "fixture no longer exercises the classification simulator";
+  ASSERT_GT(scalar.masked_events + scalar.residual_events, 0u);
+
+  options.use_batch_sim = true;
+  for (const int width : {1, 7, 64}) {
+    options.batch_width = width;
+    for (const int threads : {1, 8}) {
+      options.threads = threads;
+      const YieldMcResult batched = EstimateTimingYield(*flow_, options);
+      ExpectSameYield(scalar, batched);
+      EXPECT_GT(batched.words_simulated, 0u) << "batched path did not run";
+      EXPECT_GT(batched.lane_utilization, 0.0);
+    }
+  }
+  EXPECT_EQ(scalar.words_simulated, 0u);  // scalar path reports no batches
+}
+
+TEST_F(BatchConsumersTest, YieldMcImportanceSamplingBitIdentical) {
+  YieldMcOptions options;
+  options.trials = 300;
+  options.seed = 777;
+  options.model.sigma = 0.12;
+  options.classify_transitions = 4;
+  options.importance_sampling = true;
+  options.use_batch_sim = false;
+  const YieldMcResult scalar = EstimateTimingYield(*flow_, options);
+  options.use_batch_sim = true;
+  options.threads = 4;
+  const YieldMcResult batched = EstimateTimingYield(*flow_, options);
+  ExpectSameYield(scalar, batched);
+}
+
+TEST_F(BatchConsumersTest, CampaignBitIdenticalForBothFaultKinds) {
+  for (const FaultKind kind :
+       {FaultKind::kPermanentDelta, FaultKind::kTransient}) {
+    InjectOptions options;
+    options.fault_kind = kind;
+    options.vectors_per_site = 5;
+    options.delta_fraction = 3.0;  // beyond the guarantee: escapes expected
+    options.seed = 31;
+    options.use_batch_sim = false;
+    const InjectionCampaignResult scalar =
+        RunFaultInjectionCampaign(*flow_, options);
+    ASSERT_GT(scalar.trials, 0u);
+
+    options.use_batch_sim = true;
+    for (const int width : {7, 64}) {
+      options.batch_width = width;
+      for (const int threads : {1, 8}) {
+        options.threads = threads;
+        const InjectionCampaignResult batched =
+            RunFaultInjectionCampaign(*flow_, options);
+        ExpectSameCampaign(scalar, batched);
+        EXPECT_GT(batched.words_simulated, 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sm
