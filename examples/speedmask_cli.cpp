@@ -29,9 +29,19 @@
 //       --via-daemon evaluates candidates through a running analysis
 //       daemon instead of in-process (byte-identical front, named
 //       circuits only).
-//   speedmask_cli serve [--socket <path>] [--workers <n>]
-//       run the analysis daemon until a client sends `shutdown`.
-//   speedmask_cli submit <circuit> [--socket <path>]
+//   speedmask_cli serve [--socket <path|host:port>] [--workers <n>]
+//       run the analysis daemon until a client sends `shutdown`. The
+//       address is a Unix socket path or host:port (":0" = free port).
+//   speedmask_cli route --shard <addr> [--shard <addr> ...]
+//                  [--socket <path|host:port>] [--vnodes <n>]
+//       run the fleet router in front of running shard daemons: requests
+//       are consistent-hashed by circuit onto the shards; `stats` answers
+//       an aggregated fleet document; `shutdown` drains every shard too.
+//   speedmask_cli fleet [--shards <n>] [--socket <path|host:port>]
+//                  [--workers <n>]
+//       run a whole sharded deployment in one process: N analysis shards
+//       plus the router, until a client sends `shutdown`.
+//   speedmask_cli submit <circuit> [--socket <path|host:port>]
 //                  [--method spcf|flow|yield|inject|optimize]
 //                  [--guard <frac>] [--algo node|path|short]
 //                  [--trials <n>] [--sigma <s>] [--seed <n>]
@@ -39,9 +49,9 @@
 //                  [--fault permanent|transient] [--sites <n>] [--vectors <n>]
 //       send one request to a running daemon and print the result JSON
 //       (connects and retries with backoff while the daemon is overloaded).
-//   speedmask_cli stats [--socket <path>]
-//   speedmask_cli shutdown [--socket <path>]
-//       query daemon counters / drain and stop the daemon.
+//   speedmask_cli stats [--socket <path|host:port>]
+//   speedmask_cli shutdown [--socket <path|host:port>]
+//       query daemon/fleet counters / drain and stop the daemon or fleet.
 //
 // <circuit> is either a name from `list` or a path to a BLIF file.
 #include <fstream>
@@ -51,6 +61,8 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.h"
+#include "fleet/router.h"
 #include "harness/flow.h"
 #include "harness/inject.h"
 #include "harness/optimize.h"
@@ -86,6 +98,14 @@ std::optional<std::string> GetFlag(std::vector<std::string>& args,
     }
   }
   return std::nullopt;
+}
+
+// Repeatable flag: collects every occurrence of `name <value>` in order.
+std::vector<std::string> GetFlagList(std::vector<std::string>& args,
+                                     const std::string& name) {
+  std::vector<std::string> values;
+  while (auto value = GetFlag(args, name)) values.push_back(*value);
+  return values;
 }
 
 // Valueless switch: returns true if present (and removes it).
@@ -294,20 +314,62 @@ int CmdInject(std::vector<std::string> args) {
 
 int CmdServe(std::vector<std::string> args) {
   ServerOptions options;
-  options.socket_path =
-      GetFlag(args, "--socket").value_or(options.socket_path);
+  options.listen_address =
+      GetFlag(args, "--socket").value_or(options.listen_address);
   options.num_workers = static_cast<std::size_t>(std::stoul(
       GetFlag(args, "--workers")
           .value_or(std::to_string(options.num_workers))));
   SpeedmaskServer server(options);
   server.Start();
-  std::cerr << "speedmask daemon listening on " << server.socket_path()
+  std::cerr << "speedmask daemon listening on " << server.address()
             << " (" << options.num_workers << " workers); send `speedmask_cli "
-            << "shutdown --socket " << server.socket_path() << "` to stop\n";
+            << "shutdown --socket " << server.address() << "` to stop\n";
   server.Wait();
   const ServiceStatsSnapshot stats = server.SnapshotStats();
   std::cerr << "daemon stopped after " << stats.requests_total << " requests ("
             << stats.cache.hits << " cache hits)\n";
+  return 0;
+}
+
+int CmdRoute(std::vector<std::string> args) {
+  RouterOptions options;
+  options.shards = GetFlagList(args, "--shard");
+  if (options.shards.empty()) {
+    std::cerr << "usage: speedmask_cli route --shard <addr> "
+                 "[--shard <addr> ...] [--socket <path|host:port>] "
+                 "[--vnodes <n>]\n";
+    return 2;
+  }
+  options.listen_address =
+      GetFlag(args, "--socket").value_or("/tmp/speedmask_router.sock");
+  options.vnodes_per_shard =
+      std::stoi(GetFlag(args, "--vnodes").value_or("64"));
+  FleetRouter router(std::move(options));
+  router.Start();
+  std::cerr << "speedmask router listening on " << router.address() << " ("
+            << router.num_shards() << " shards); send `speedmask_cli "
+            << "shutdown --socket " << router.address() << "` to stop\n";
+  router.Wait();
+  std::cerr << "router stopped\n";
+  return 0;
+}
+
+int CmdFleet(std::vector<std::string> args) {
+  FleetOptions options;
+  options.listen_address =
+      GetFlag(args, "--socket").value_or("/tmp/speedmask_fleet.sock");
+  options.num_shards = std::stoi(GetFlag(args, "--shards").value_or("2"));
+  options.shard_options.num_workers =
+      std::stoi(GetFlag(args, "--workers")
+                    .value_or(std::to_string(
+                        options.shard_options.num_workers)));
+  SpeedmaskFleet fleet(std::move(options));
+  fleet.Start();
+  std::cerr << "speedmask fleet listening on " << fleet.address() << " ("
+            << fleet.num_shards() << " shards); send `speedmask_cli "
+            << "shutdown --socket " << fleet.address() << "` to stop\n";
+  fleet.Wait();
+  std::cerr << "fleet stopped\n";
   return 0;
 }
 
@@ -335,7 +397,7 @@ int CmdOptimize(std::vector<std::string> args) {
       std::stoull(GetFlag(args, "--trials").value_or("1500"));
   config.sigma = std::stod(GetFlag(args, "--sigma").value_or("0.05"));
   const std::string socket =
-      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+      GetFlag(args, "--socket").value_or(ServerOptions{}.listen_address);
   const bool via_daemon = GetSwitch(args, "--via-daemon");
   const auto json_path = GetFlag(args, "--json");
 
@@ -388,7 +450,7 @@ int CmdSubmit(std::vector<std::string> args) {
     return 2;
   }
   const std::string socket =
-      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+      GetFlag(args, "--socket").value_or(ServerOptions{}.listen_address);
   const std::string method = GetFlag(args, "--method").value_or("spcf");
   const std::string algo = GetFlag(args, "--algo").value_or("short");
 
@@ -462,7 +524,7 @@ int CmdSubmit(std::vector<std::string> args) {
 
 int CmdStats(std::vector<std::string> args) {
   const std::string socket =
-      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+      GetFlag(args, "--socket").value_or(ServerOptions{}.listen_address);
   ServiceClient client(socket);
   std::cout << client.Stats().result_json << "\n";
   return 0;
@@ -470,7 +532,7 @@ int CmdStats(std::vector<std::string> args) {
 
 int CmdShutdown(std::vector<std::string> args) {
   const std::string socket =
-      GetFlag(args, "--socket").value_or(ServerOptions{}.socket_path);
+      GetFlag(args, "--socket").value_or(ServerOptions{}.listen_address);
   ServiceClient client(socket);
   const ServiceResponse response = client.Shutdown();
   if (!response.ok()) {
@@ -487,8 +549,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     std::cerr << "usage: speedmask_cli "
-                 "<list|gen|spcf|flow|inject|optimize|serve|submit|stats|"
-                 "shutdown> ...\n";
+                 "<list|gen|spcf|flow|inject|optimize|serve|route|fleet|"
+                 "submit|stats|shutdown> ...\n";
     return 2;
   }
   const std::string cmd = args[0];
@@ -501,6 +563,8 @@ int main(int argc, char** argv) {
     if (cmd == "inject") return CmdInject(std::move(args));
     if (cmd == "optimize") return CmdOptimize(std::move(args));
     if (cmd == "serve") return CmdServe(std::move(args));
+    if (cmd == "route") return CmdRoute(std::move(args));
+    if (cmd == "fleet") return CmdFleet(std::move(args));
     if (cmd == "submit") return CmdSubmit(std::move(args));
     if (cmd == "stats") return CmdStats(std::move(args));
     if (cmd == "shutdown") return CmdShutdown(std::move(args));

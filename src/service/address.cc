@@ -1,0 +1,199 @@
+#include "service/address.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sm {
+
+namespace {
+
+[[noreturn]] void Malformed(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("malformed service address \"" + spec +
+                              "\": " + why +
+                              " (expected a Unix socket path or host:port)");
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+std::string ServiceAddress::ToString() const {
+  if (kind == AddressKind::kUnixSocket) return path;
+  return host + ":" + std::to_string(port);
+}
+
+ServiceAddress ParseServiceAddress(const std::string& spec) {
+  if (spec.empty()) Malformed(spec, "empty address");
+  ServiceAddress a;
+  // Anything with a '/' is a filesystem path; ':' never promotes it to TCP
+  // (paths may legitimately contain colons).
+  if (spec.find('/') != std::string::npos ||
+      spec.find(':') == std::string::npos) {
+    a.kind = AddressKind::kUnixSocket;
+    a.path = spec;
+    return a;
+  }
+  const std::size_t colon = spec.find(':');
+  if (spec.find(':', colon + 1) != std::string::npos) {
+    Malformed(spec, "more than one ':' (IPv6 literals are not supported)");
+  }
+  a.kind = AddressKind::kTcp;
+  a.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (a.host.empty()) Malformed(spec, "empty host before ':'");
+  if (port_text.empty()) Malformed(spec, "empty port after ':'");
+  long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') Malformed(spec, "non-numeric port \"" + port_text + "\"");
+    port = port * 10 + (c - '0');
+    if (port > 65535) Malformed(spec, "port out of range (max 65535)");
+  }
+  a.port = static_cast<int>(port);
+  return a;
+}
+
+namespace {
+
+bool FillUnixSockaddr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) return false;
+  std::strncpy(addr->sun_path, path.c_str(), sizeof(addr->sun_path) - 1);
+  return true;
+}
+
+// Resolves host:port to an IPv4 sockaddr_in. Returns false (errno
+// untouched) when the name does not resolve.
+bool ResolveTcp(const std::string& host, int port, sockaddr_in* out) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &results) != 0 ||
+      results == nullptr) {
+    return false;
+  }
+  std::memcpy(out, results->ai_addr, sizeof(sockaddr_in));
+  ::freeaddrinfo(results);
+  return true;
+}
+
+}  // namespace
+
+int ConnectToAddress(const ServiceAddress& address) {
+  if (address.kind == AddressKind::kUnixSocket) {
+    sockaddr_un addr;
+    if (!FillUnixSockaddr(address.path, &addr)) {
+      errno = ENAMETOOLONG;
+      return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  if (!ResolveTcp(address.host, address.port, &addr)) {
+    errno = EHOSTUNREACH;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+int BindAndListen(const ServiceAddress& address, int backlog,
+                  std::string* effective) {
+  if (address.kind == AddressKind::kUnixSocket) {
+    sockaddr_un addr;
+    if (!FillUnixSockaddr(address.path, &addr)) {
+      throw std::runtime_error("socket path too long: " + address.path);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("socket(): ") +
+                               std::strerror(errno));
+    }
+    ::unlink(address.path.c_str());  // stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("bind(" + address.path +
+                               "): " + std::strerror(err));
+    }
+    if (::listen(fd, backlog) < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("listen(): ") +
+                               std::strerror(err));
+    }
+    if (effective != nullptr) *effective = address.path;
+    return fd;
+  }
+
+  sockaddr_in addr{};
+  if (!ResolveTcp(address.host, address.port, &addr)) {
+    throw std::runtime_error("cannot resolve " + address.ToString());
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("bind(" + address.ToString() +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("listen(): ") + std::strerror(err));
+  }
+  // Report the kernel-assigned port for a ":0" spec so clients can find us.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  int port = address.port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
+  if (effective != nullptr) {
+    *effective = address.host + ":" + std::to_string(port);
+  }
+  return fd;
+}
+
+void TuneAcceptedSocket(int fd, AddressKind kind, int write_timeout_ms) {
+  if (kind == AddressKind::kTcp) SetNoDelay(fd);
+  if (write_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = write_timeout_ms / 1000;
+    tv.tv_usec = (write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+}
+
+}  // namespace sm

@@ -1,7 +1,5 @@
 #include "service/client.h"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,6 +9,7 @@
 #include <cstring>
 #include <thread>
 
+#include "service/address.h"
 #include "service/framing.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -18,20 +17,6 @@
 namespace sm {
 
 namespace {
-
-int ConnectOrNegative(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) return -1;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
 
 void SleepMs(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
@@ -53,11 +38,11 @@ double RetryBackoffMs(const RetryPolicy& policy, int attempt) {
   return base * jitter;
 }
 
-ServiceClient::ServiceClient(const std::string& socket_path) {
-  fd_ = ConnectOrNegative(socket_path);
+ServiceClient::ServiceClient(const std::string& address) {
+  fd_ = ConnectToAddress(ParseServiceAddress(address));
   if (fd_ < 0) {
     throw std::runtime_error("cannot connect to speedmask daemon at " +
-                             socket_path + ": " + std::strerror(errno));
+                             address + ": " + std::strerror(errno));
   }
 }
 
@@ -67,12 +52,16 @@ ServiceClient::~ServiceClient() {
 
 ServiceResponse ServiceClient::Call(ServiceRequest request) {
   if (request.id == 0) request.id = next_id_++;
-  WriteFrame(fd_, SerializeRequest(request));
-  std::optional<std::string> payload = ReadFrame(fd_);
-  if (!payload.has_value()) {
+  return ParseResponse(Exchange(SerializeRequest(request)));
+}
+
+std::string ServiceClient::Exchange(const std::string& payload) {
+  WriteFrame(fd_, payload);
+  std::optional<std::string> response = ReadFrame(fd_);
+  if (!response.has_value()) {
     throw FrameError("daemon closed the connection without answering");
   }
-  return ParseResponse(*payload);
+  return *std::move(response);
 }
 
 ServiceResponse ServiceClient::CallWithRetry(ServiceRequest request,
@@ -91,11 +80,11 @@ ServiceResponse ServiceClient::CallWithRetry(ServiceRequest request,
 }
 
 std::unique_ptr<ServiceClient> ServiceClient::ConnectWithRetry(
-    const std::string& socket_path, const RetryPolicy& policy) {
+    const std::string& address, const RetryPolicy& policy) {
   SM_REQUIRE(policy.max_attempts > 0, "max_attempts must be positive");
   for (int attempt = 0;; ++attempt) {
     try {
-      return std::make_unique<ServiceClient>(socket_path);
+      return std::make_unique<ServiceClient>(address);
     } catch (const std::runtime_error&) {
       if (attempt + 1 >= policy.max_attempts) throw;
     }
@@ -166,11 +155,12 @@ ServiceResponse ServiceClient::Shutdown() {
   return Call(std::move(r));
 }
 
-bool WaitForServer(const std::string& socket_path, double timeout_seconds) {
+bool WaitForServer(const std::string& address, double timeout_seconds) {
+  const ServiceAddress parsed = ParseServiceAddress(address);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_seconds);
   for (;;) {
-    const int fd = ConnectOrNegative(socket_path);
+    const int fd = ConnectToAddress(parsed);
     if (fd >= 0) {
       ::close(fd);
       return true;

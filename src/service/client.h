@@ -1,12 +1,13 @@
 // Blocking client for the speedmask analysis daemon.
 //
-// One ServiceClient owns one Unix-socket connection and issues one request
-// at a time (Call blocks until the matching response frame arrives — the
-// daemon answers cache hits and backpressure rejections out of order with
-// respect to *other* connections, but each connection's own replies come
-// back in request order for the methods this client issues serially).
-// Convenience wrappers fill in protocol defaults; request ids increment per
-// client unless the caller sets one explicitly.
+// One ServiceClient owns one connection — a Unix socket or a TCP stream,
+// chosen by the address spec (service/address.h: a path or "host:port") —
+// and issues one request at a time (Call blocks until the matching response
+// frame arrives — the daemon answers cache hits and backpressure rejections
+// out of order with respect to *other* connections, but each connection's
+// own replies come back in request order for the methods this client
+// issues serially). Convenience wrappers fill in protocol defaults; request
+// ids increment per client unless the caller sets one explicitly.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +40,9 @@ double RetryBackoffMs(const RetryPolicy& policy, int attempt);
 class ServiceClient {
  public:
   // Connects immediately; throws std::runtime_error when the daemon is not
-  // reachable at `socket_path`.
-  explicit ServiceClient(const std::string& socket_path);
+  // reachable at `address` (a Unix socket path or "host:port") and
+  // std::invalid_argument when the address itself is malformed.
+  explicit ServiceClient(const std::string& address);
   ~ServiceClient();
 
   ServiceClient(const ServiceClient&) = delete;
@@ -50,6 +52,13 @@ class ServiceClient {
   // for the response. Throws FrameError/ParseError on transport or protocol
   // corruption; service-level failures come back as response.status.
   ServiceResponse Call(ServiceRequest request);
+
+  // Raw-bytes round trip: sends `payload` verbatim as one frame and returns
+  // the next response frame's payload verbatim. The fleet router forwards
+  // requests with this so a shard's response bytes reach the client
+  // untouched (the byte-identity contract survives the extra hop). Throws
+  // FrameError when the peer closes without answering.
+  std::string Exchange(const std::string& payload);
 
   // Like Call, but re-sends while the daemon answers "overloaded", sleeping
   // RetryBackoffMs between attempts (the request id is assigned once, so
@@ -64,7 +73,7 @@ class ServiceClient {
   // max_attempts tries — campaign submissions survive a daemon that is
   // briefly down or still binding its socket.
   static std::unique_ptr<ServiceClient> ConnectWithRetry(
-      const std::string& socket_path, const RetryPolicy& policy = {});
+      const std::string& address, const RetryPolicy& policy = {});
 
   // Convenience wrappers. `circuit` is a built-in paper-circuit name unless
   // `is_blif` is set, in which case it is inline BLIF text.
@@ -93,7 +102,8 @@ class ServiceClient {
 };
 
 // Polls connect() until the daemon answers or `timeout_seconds` elapses.
-// Returns false on timeout — used by tools that fork the daemon.
-bool WaitForServer(const std::string& socket_path, double timeout_seconds);
+// Returns false on timeout — used by tools that fork the daemon. Accepts
+// both address forms; throws std::invalid_argument on a malformed address.
+bool WaitForServer(const std::string& address, double timeout_seconds);
 
 }  // namespace sm

@@ -1,0 +1,41 @@
+#include "service/latency_ring.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+namespace sm {
+
+LatencyRing::LatencyRing(std::size_t capacity) : slots_(capacity) {
+  SM_REQUIRE(capacity > 0, "latency ring needs at least one slot");
+  for (auto& slot : slots_) {
+    slot.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  }
+}
+
+void LatencyRing::Record(double ms) {
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  slots_[n % slots_.size()].store(std::bit_cast<std::uint64_t>(ms),
+                                  std::memory_order_release);
+}
+
+LatencyRing::Percentiles LatencyRing::Snapshot() const {
+  Percentiles p;
+  p.samples = count_.load(std::memory_order_acquire);
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(p.samples, slots_.size()));
+  if (n == 0) return p;
+  std::vector<double> sorted;
+  sorted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted.push_back(
+        std::bit_cast<double>(slots_[i].load(std::memory_order_acquire)));
+  }
+  std::sort(sorted.begin(), sorted.end());
+  p.p50_ms = sorted[(n - 1) / 2];
+  p.p99_ms = sorted[(n - 1) * 99 / 100];
+  return p;
+}
+
+}  // namespace sm

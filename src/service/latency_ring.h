@@ -1,0 +1,52 @@
+// Fixed-capacity latency sample ring with wait-free writers and a
+// torn-read-free percentile snapshot.
+//
+// The daemon's original ring serialized every request completion through a
+// mutex just to record one double — a single contended lock on the hottest
+// path of an otherwise lock-free response side. This ring makes Record()
+// wait-free: a relaxed fetch_add claims a slot, and the sample is stored as
+// an atomic 64-bit bit pattern, so writers never block each other or the
+// snapshot.
+//
+// Approximation (documented, by design): Snapshot() is *consistent* in the
+// sense that every value it reads is a complete sample some writer actually
+// recorded — the atomic word store rules out torn doubles — but it is not a
+// linearizable cut of the stream. A snapshot racing writers may contain,
+// for the slot being overwritten, either the old or the new sample, and the
+// reported sample count can run slightly ahead of the slots visibly
+// written. Percentiles over an 8k sliding window are statistics, not
+// ledgers; each reported percentile is always a real recorded latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sm {
+
+class LatencyRing {
+ public:
+  explicit LatencyRing(std::size_t capacity = 8192);
+
+  LatencyRing(const LatencyRing&) = delete;
+  LatencyRing& operator=(const LatencyRing&) = delete;
+
+  // Wait-free, callable from any thread.
+  void Record(double ms);
+
+  struct Percentiles {
+    double p50_ms = 0;
+    double p99_ms = 0;
+    std::uint64_t samples = 0;  // total recorded, not just the window
+  };
+
+  // Copies the populated window (each slot read is one atomic load, so no
+  // torn values) and computes order statistics over the copy.
+  Percentiles Snapshot() const;
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> slots_;  // double bit patterns
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace sm

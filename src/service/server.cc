@@ -1,8 +1,6 @@
 #include "service/server.h"
 
 #include <sys/socket.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -130,11 +128,11 @@ struct SpeedmaskServer::WorkerContext {
 SpeedmaskServer::SpeedmaskServer(ServerOptions options)
     : options_(std::move(options)),
       library_(Lsi10kLike()),
-      cache_(options_.cache_entries, options_.cache_bytes),
-      latency_ring_(8192, 0.0) {
+      cache_(options_.cache_entries, options_.cache_bytes) {
   SM_REQUIRE(options_.num_workers >= 1 && options_.num_workers <= 256,
              "num_workers out of range: " << options_.num_workers);
   SM_REQUIRE(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  listen_parsed_ = ParseServiceAddress(options_.listen_address);
 }
 
 SpeedmaskServer::~SpeedmaskServer() {
@@ -153,32 +151,8 @@ void SpeedmaskServer::Start() {
     started_ = true;
   }
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  SM_REQUIRE(options_.socket_path.size() < sizeof(addr.sun_path),
-             "socket path too long: " << options_.socket_path);
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
-  }
-  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("bind(" + options_.socket_path +
-                             "): " + std::strerror(err));
-  }
-  if (::listen(listen_fd_, 128) < 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error(std::string("listen(): ") + std::strerror(err));
-  }
+  listen_fd_ = BindAndListen(listen_parsed_, /*backlog=*/128,
+                             &effective_address_);
 
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -199,14 +173,10 @@ void SpeedmaskServer::AcceptLoop() {
       ::close(fd);
       continue;
     }
-    if (options_.write_timeout_ms > 0) {
-      // Bound blocking response writes: a client that never reads fails its
-      // sends with EAGAIN (-> FrameError) instead of wedging a worker.
-      timeval tv{};
-      tv.tv_sec = options_.write_timeout_ms / 1000;
-      tv.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    }
+    // TCP_NODELAY for TCP peers, and a bound on blocking response writes: a
+    // client that never reads fails its sends with EAGAIN (-> FrameError)
+    // instead of wedging a worker.
+    TuneAcceptedSocket(fd, listen_parsed_.kind, options_.write_timeout_ms);
     auto conn = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(conn_mutex_);
     std::erase_if(connections_, [](const std::weak_ptr<Connection>& w) {
@@ -513,10 +483,7 @@ void SpeedmaskServer::FinishRequest() {
 }
 
 void SpeedmaskServer::RecordLatency(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_ring_[latency_next_] = ms;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  ++latency_count_;
+  latency_ring_.Record(ms);
 }
 
 void SpeedmaskServer::Shutdown() {
@@ -579,7 +546,9 @@ void SpeedmaskServer::Wait() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  ::unlink(options_.socket_path.c_str());
+  if (listen_parsed_.kind == AddressKind::kUnixSocket) {
+    ::unlink(listen_parsed_.path.c_str());
+  }
 }
 
 ServiceStatsSnapshot SpeedmaskServer::SnapshotStats() {
@@ -620,17 +589,10 @@ ServiceStatsSnapshot SpeedmaskServer::SnapshotStats() {
     s.worker_reorder_runs.push_back(reorder_runs);
   }
   {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    s.latency_samples = latency_count_;
-    const std::size_t n = static_cast<std::size_t>(
-        std::min<std::uint64_t>(latency_count_, latency_ring_.size()));
-    if (n > 0) {
-      std::vector<double> sorted(latency_ring_.begin(),
-                                 latency_ring_.begin() + n);
-      std::sort(sorted.begin(), sorted.end());
-      s.p50_ms = sorted[(n - 1) / 2];
-      s.p99_ms = sorted[(n - 1) * 99 / 100];
-    }
+    const LatencyRing::Percentiles lat = latency_ring_.Snapshot();
+    s.latency_samples = lat.samples;
+    s.p50_ms = lat.p50_ms;
+    s.p99_ms = lat.p99_ms;
   }
   s.uptime_seconds = uptime_.Seconds();
   return s;

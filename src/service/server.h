@@ -3,8 +3,9 @@
 // One process owns the expensive state every one-shot entry point rebuilds
 // from scratch — warm per-worker BddManagers (unique table + op cache
 // persist across requests) and a content-addressed result cache — and
-// serves analysis requests over a Unix domain socket (protocol.h over
-// framing.h).
+// serves analysis requests over a Unix domain socket or a TCP listener
+// (address.h picks the transport from the listen_address spec; protocol.h
+// over framing.h either way).
 //
 // Architecture:
 //
@@ -42,6 +43,8 @@
 #include <vector>
 
 #include "liblib/library.h"
+#include "service/address.h"
+#include "service/latency_ring.h"
 #include "service/protocol.h"
 #include "service/result_cache.h"
 #include "util/thread_pool.h"
@@ -50,7 +53,10 @@
 namespace sm {
 
 struct ServerOptions {
-  std::string socket_path = "/tmp/speedmask.sock";
+  // Unix socket path or "host:port" (service/address.h). A TCP port of 0
+  // asks the kernel for a free port; address() reports the effective one
+  // after Start().
+  std::string listen_address = "/tmp/speedmask.sock";
   int num_workers = 2;
   // Maximum analysis requests outstanding (queued + executing) before new
   // ones are answered "overloaded".
@@ -124,7 +130,7 @@ class SpeedmaskServer {
   SpeedmaskServer(const SpeedmaskServer&) = delete;
   SpeedmaskServer& operator=(const SpeedmaskServer&) = delete;
 
-  // Binds the socket and spawns the accept thread and worker pool. Throws
+  // Binds the listener and spawns the accept thread and worker pool. Throws
   // std::runtime_error when the socket cannot be created.
   void Start();
 
@@ -137,7 +143,12 @@ class SpeedmaskServer {
   // drained. Does not join threads (Wait does).
   void Shutdown();
 
-  const std::string& socket_path() const { return options_.socket_path; }
+  // The address clients should connect to. Equals listen_address except for
+  // a TCP ":0" spec, where the kernel-assigned port is filled in by Start().
+  const std::string& address() const {
+    return effective_address_.empty() ? options_.listen_address
+                                      : effective_address_;
+  }
 
   ServiceStatsSnapshot SnapshotStats();
 
@@ -170,6 +181,8 @@ class SpeedmaskServer {
   const Library library_;
   ResultCache cache_;
 
+  ServiceAddress listen_parsed_;
+  std::string effective_address_;
   int listen_fd_ = -1;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
@@ -209,10 +222,7 @@ class SpeedmaskServer {
   std::atomic<std::uint64_t> sim_words_{0};
   std::atomic<std::uint64_t> sim_lanes_{0};
 
-  std::mutex latency_mutex_;
-  std::vector<double> latency_ring_;
-  std::size_t latency_next_ = 0;
-  std::uint64_t latency_count_ = 0;
+  LatencyRing latency_ring_;
 
   WallTimer uptime_;
 };

@@ -615,12 +615,12 @@ TEST(Optimizer, DaemonFrontIsByteIdenticalToInProcess) {
       "cmb", options, OptimizeCircuit(ti, lib, options, config));
 
   ServerOptions server_options;
-  server_options.socket_path = TestSocket("opt");
+  server_options.listen_address = TestSocket("opt");
   server_options.num_workers = 1;
   SpeedmaskServer server(server_options);
   server.Start();
   {
-    ServiceClient client(server_options.socket_path);
+    ServiceClient client(server_options.listen_address);
 
     // Client-side search, daemon-evaluated candidates.
     DaemonEvaluator remote(client, "cmb", ti, config);
@@ -652,7 +652,7 @@ TEST(Optimizer, DaemonFrontIsByteIdenticalToInProcess) {
     client.Shutdown();
   }
   server.Wait();
-  ::unlink(server_options.socket_path.c_str());
+  ::unlink(server_options.listen_address.c_str());
 }
 
 }  // namespace

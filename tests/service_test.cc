@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -16,8 +17,10 @@
 #include "liblib/lsi10k.h"
 #include "map/tech_map.h"
 #include "network/blif.h"
+#include "service/address.h"
 #include "service/client.h"
 #include "service/framing.h"
+#include "service/latency_ring.h"
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/result_cache.h"
@@ -368,12 +371,12 @@ TEST(Protocol, CacheKeyIdentifiesSameWork) {
 
 TEST(Service, DaemonMatchesDirectFlowByteForByte) {
   ServerOptions options;
-  options.socket_path = TestSocket("e2e");
+  options.listen_address = TestSocket("e2e");
   options.num_workers = 1;
   SpeedmaskServer server(options);
   server.Start();
   {
-    ServiceClient client(options.socket_path);
+    ServiceClient client(options.listen_address);
 
     // analyze_spcf vs a direct harness computation.
     const ServiceResponse spcf = client.AnalyzeSpcf("cmb", 0.1);
@@ -437,12 +440,12 @@ TEST(Service, DaemonMatchesDirectFlowByteForByte) {
 
 TEST(Service, ErrorsComeBackTyped) {
   ServerOptions options;
-  options.socket_path = TestSocket("err");
+  options.listen_address = TestSocket("err");
   options.num_workers = 1;
   SpeedmaskServer server(options);
   server.Start();
   {
-    ServiceClient client(options.socket_path);
+    ServiceClient client(options.listen_address);
 
     // Unknown circuit name → error response, daemon keeps serving.
     const ServiceResponse bad = client.AnalyzeSpcf("no_such_circuit");
@@ -473,7 +476,7 @@ TEST(Service, ErrorsComeBackTyped) {
 
 TEST(Service, OverloadAndGracefulDrain) {
   ServerOptions options;
-  options.socket_path = TestSocket("ovl");
+  options.listen_address = TestSocket("ovl");
   options.num_workers = 1;
   options.queue_capacity = 1;
   SpeedmaskServer server(options);
@@ -482,11 +485,11 @@ TEST(Service, OverloadAndGracefulDrain) {
   // Saturate the single slot with a slow request on its own connection.
   std::string slow_status;
   std::thread slow_thread([&] {
-    ServiceClient slow(options.socket_path);
+    ServiceClient slow(options.listen_address);
     slow_status = slow.EstimateYield("cu", 0.1, 20000, 0.05).status;
   });
 
-  ServiceClient probe(options.socket_path);
+  ServiceClient probe(options.listen_address);
   for (int i = 0; i < 500; ++i) {
     const Json stats = Json::Parse(probe.Stats().result_json);
     if (stats.GetUint64("queue_depth", 0) >= 1) break;
@@ -521,14 +524,14 @@ TEST(Service, WarmManagerSurvivesGcInsteadOfReset) {
   // Before the mark-and-sweep collector this situation destroyed and rebuilt
   // the manager (counted by manager_resets) — assert that no longer happens.
   ServerOptions options;
-  options.socket_path = TestSocket("warm");
+  options.listen_address = TestSocket("warm");
   options.num_workers = 1;
   options.manager_gc_nodes = 1;
   SpeedmaskServer server(options);
   server.Start();
   std::string warm_bytes;
   {
-    ServiceClient client(options.socket_path);
+    ServiceClient client(options.listen_address);
     const ServiceResponse cold = client.AnalyzeSpcf("cmb", 0.1);
     ASSERT_TRUE(cold.ok()) << cold.error;
     // A different guard band is a cache miss, so the same worker's warm
@@ -564,12 +567,12 @@ TEST(Service, WarmManagerSurvivesGcInsteadOfReset) {
   // The GC is structure-neutral: a fresh daemon computing only the second
   // request cold produces byte-identical result bytes.
   ServerOptions cold_options;
-  cold_options.socket_path = TestSocket("warm_cold");
+  cold_options.listen_address = TestSocket("warm_cold");
   cold_options.num_workers = 1;
   SpeedmaskServer cold_server(cold_options);
   cold_server.Start();
   {
-    ServiceClient client(cold_options.socket_path);
+    ServiceClient client(cold_options.listen_address);
     const ServiceResponse cold = client.AnalyzeSpcf("cmb", 0.15);
     ASSERT_TRUE(cold.ok()) << cold.error;
     EXPECT_EQ(cold.result_json, warm_bytes);
@@ -623,7 +626,7 @@ TEST(Retry, ValidatesArguments) {
 
 TEST(Service, CallWithRetryRidesOutOverload) {
   ServerOptions options;
-  options.socket_path = TestSocket("rty");
+  options.listen_address = TestSocket("rty");
   options.num_workers = 1;
   options.queue_capacity = 1;
   SpeedmaskServer server(options);
@@ -632,10 +635,10 @@ TEST(Service, CallWithRetryRidesOutOverload) {
   // Saturate the single slot with a slow request on its own connection.
   std::string slow_status;
   std::thread slow_thread([&] {
-    ServiceClient slow(options.socket_path);
+    ServiceClient slow(options.listen_address);
     slow_status = slow.EstimateYield("cu", 0.1, 20000, 0.05).status;
   });
-  ServiceClient probe(options.socket_path);
+  ServiceClient probe(options.listen_address);
   for (int i = 0; i < 500; ++i) {
     const Json stats = Json::Parse(probe.Stats().result_json);
     if (stats.GetUint64("queue_depth", 0) >= 1) break;
@@ -674,7 +677,7 @@ TEST(Service, ConnectWithRetryWaitsForTheSocket) {
 
   // A daemon that binds late: the client rides out the refused connections.
   ServerOptions options;
-  options.socket_path = TestSocket("late");
+  options.listen_address = TestSocket("late");
   options.num_workers = 1;
   SpeedmaskServer server(options);
   std::thread starter([&] {
@@ -686,7 +689,7 @@ TEST(Service, ConnectWithRetryWaitsForTheSocket) {
   patient.initial_backoff_ms = 10;
   patient.multiplier = 1;
   std::unique_ptr<ServiceClient> client =
-      ServiceClient::ConnectWithRetry(options.socket_path, patient);
+      ServiceClient::ConnectWithRetry(options.listen_address, patient);
   EXPECT_TRUE(client->AnalyzeSpcf("i1").ok());
   EXPECT_TRUE(client->Shutdown().ok());
   server.Wait();
@@ -737,12 +740,12 @@ TEST(Protocol, InjectRequestRoundTripAndCacheKey) {
 
 TEST(Service, InjectCampaignMatchesDirectAndCaches) {
   ServerOptions options;
-  options.socket_path = TestSocket("inj");
+  options.listen_address = TestSocket("inj");
   options.num_workers = 1;
   SpeedmaskServer server(options);
   server.Start();
   {
-    ServiceClient client(options.socket_path);
+    ServiceClient client(options.listen_address);
     const ServiceResponse resp = client.InjectCampaign(
         "cmb", 0.1, FaultSiteStrategy::kExhaustiveSpeedPaths, /*sites=*/4,
         /*vectors=*/4);
@@ -785,18 +788,244 @@ TEST(Service, InjectCampaignMatchesDirectAndCaches) {
 
 TEST(Service, RequestsAfterShutdownAreRejected) {
   ServerOptions options;
-  options.socket_path = TestSocket("post");
+  options.listen_address = TestSocket("post");
   options.num_workers = 1;
   SpeedmaskServer server(options);
   server.Start();
   {
-    ServiceClient client(options.socket_path);
+    ServiceClient client(options.listen_address);
     EXPECT_TRUE(client.AnalyzeSpcf("i1").ok());
     EXPECT_TRUE(client.Shutdown().ok());
   }
   server.Wait();
   // The socket is gone: connecting again must fail.
-  EXPECT_THROW(ServiceClient{options.socket_path}, std::runtime_error);
+  EXPECT_THROW(ServiceClient{options.listen_address}, std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Service addresses (service/address.h)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceAddress, ParsesUnixPaths) {
+  const ServiceAddress abs = ParseServiceAddress("/tmp/speedmask.sock");
+  EXPECT_EQ(abs.kind, AddressKind::kUnixSocket);
+  EXPECT_EQ(abs.path, "/tmp/speedmask.sock");
+  EXPECT_EQ(abs.ToString(), "/tmp/speedmask.sock");
+
+  // Colon-free specs are relative socket paths, and a '/' always wins over
+  // a ':' (paths may contain colons).
+  EXPECT_EQ(ParseServiceAddress("speedmask.sock").kind,
+            AddressKind::kUnixSocket);
+  const ServiceAddress colon_path = ParseServiceAddress("/tmp/a:b/x.sock");
+  EXPECT_EQ(colon_path.kind, AddressKind::kUnixSocket);
+  EXPECT_EQ(colon_path.path, "/tmp/a:b/x.sock");
+}
+
+TEST(ServiceAddress, ParsesHostPort) {
+  const ServiceAddress a = ParseServiceAddress("localhost:7421");
+  EXPECT_EQ(a.kind, AddressKind::kTcp);
+  EXPECT_EQ(a.host, "localhost");
+  EXPECT_EQ(a.port, 7421);
+  EXPECT_EQ(a.ToString(), "localhost:7421");
+
+  const ServiceAddress ephemeral = ParseServiceAddress("127.0.0.1:0");
+  EXPECT_EQ(ephemeral.kind, AddressKind::kTcp);
+  EXPECT_EQ(ephemeral.port, 0);
+}
+
+TEST(ServiceAddress, MalformedSpecsThrowWithClearMessages) {
+  const auto expect_invalid = [](const std::string& spec,
+                                 const std::string& fragment) {
+    try {
+      ParseServiceAddress(spec);
+      FAIL() << "expected std::invalid_argument for \"" << spec << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "message for \"" << spec << "\" was: " << e.what();
+    }
+  };
+  expect_invalid("", "empty address");
+  expect_invalid(":7421", "empty host");
+  expect_invalid("localhost:", "empty port");
+  expect_invalid("localhost:http", "non-numeric port");
+  expect_invalid("localhost:70000", "out of range");
+  expect_invalid("::1:80", "more than one ':'");
+}
+
+TEST(ServiceAddress, ClientAndWaitForServerRejectMalformedAddresses) {
+  EXPECT_THROW(ServiceClient{"host:bad_port"}, std::invalid_argument);
+  EXPECT_THROW(WaitForServer("host:bad_port", 0.01), std::invalid_argument);
+}
+
+TEST(ServiceAddress, TcpServerRoundTrip) {
+  ServerOptions options;
+  options.listen_address = "127.0.0.1:0";  // kernel-assigned port
+  options.num_workers = 1;
+  SpeedmaskServer server(options);
+  server.Start();
+  // The effective address carries the real port.
+  ASSERT_NE(server.address(), "127.0.0.1:0");
+  ASSERT_TRUE(WaitForServer(server.address(), 5.0));
+  {
+    ServiceClient client(server.address());
+    const ServiceResponse response = client.AnalyzeSpcf("i1");
+    ASSERT_TRUE(response.ok()) << response.error;
+    // Transport must not change result bytes: same request over a Unix
+    // socket daemon answers identically.
+    ServerOptions unix_options;
+    unix_options.listen_address = TestSocket("tcp_cmp");
+    unix_options.num_workers = 1;
+    SpeedmaskServer unix_server(unix_options);
+    unix_server.Start();
+    {
+      ServiceClient unix_client(unix_options.listen_address);
+      const ServiceResponse unix_response = unix_client.AnalyzeSpcf("i1");
+      ASSERT_TRUE(unix_response.ok());
+      EXPECT_EQ(unix_response.result_json, response.result_json);
+      EXPECT_TRUE(unix_client.Shutdown().ok());
+    }
+    unix_server.Wait();
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  server.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Latency ring (service/latency_ring.h)
+// ---------------------------------------------------------------------------
+
+TEST(LatencyRing, PercentilesOverPartialAndFullWindows) {
+  LatencyRing ring(8);
+  EXPECT_EQ(ring.Snapshot().samples, 0u);
+  ring.Record(5.0);
+  EXPECT_DOUBLE_EQ(ring.Snapshot().p50_ms, 5.0);
+  for (int i = 1; i <= 100; ++i) ring.Record(static_cast<double>(i));
+  const LatencyRing::Percentiles p = ring.Snapshot();
+  EXPECT_EQ(p.samples, 101u);
+  // Window holds the last 8 samples (93..100); p50 is the 4th of 8.
+  EXPECT_GE(p.p50_ms, 93.0);
+  EXPECT_LE(p.p99_ms, 100.0);
+  EXPECT_GE(p.p99_ms, p.p50_ms);
+}
+
+TEST(LatencyRing, SnapshotUnderConcurrentWritersSeesOnlyRealSamples) {
+  // Writers store doubles whose bit patterns would be detectably torn if a
+  // snapshot could observe half-written values: every valid sample is
+  // 1000 + k for k in [0, 64). Readers snapshot continuously and assert
+  // every value is exactly one of the written ones.
+  LatencyRing ring(64);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.Record(1000.0 + static_cast<double>((w * 16 + i) % 64));
+        ++i;
+      }
+    });
+  }
+  std::thread reader([&] {
+    for (int i = 0; i < 2000; ++i) {
+      const LatencyRing::Percentiles p = ring.Snapshot();
+      const auto is_real = [](double v) {
+        return v == 0.0 ||  // unwritten slot in a warming ring
+               (v >= 1000.0 && v < 1064.0 && v == std::floor(v));
+      };
+      if (!is_real(p.p50_ms) || !is_real(p.p99_ms)) bad.store(true);
+    }
+  });
+  reader.join();
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  EXPECT_FALSE(bad.load());
+  const LatencyRing::Percentiles final_p = ring.Snapshot();
+  EXPECT_GE(final_p.samples, 64u);
+  EXPECT_GE(final_p.p99_ms, final_p.p50_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache eviction ordering
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheEviction, ByteBoundEvictsLeastRecentFirst) {
+  // 3-entry / 100-byte cache: inserting a 60-byte value on top of two
+  // 30-byte ones must evict exactly the least recently used entry.
+  ResultCache cache(/*max_entries=*/3, /*max_bytes=*/100);
+  cache.Put(1, std::string(30, 'a'));
+  cache.Put(2, std::string(30, 'b'));
+  ASSERT_TRUE(cache.Get(1).has_value());  // refresh: key 2 is now LRU
+  cache.Put(3, std::string(60, 'c'));     // 120 bytes > 100: evict key 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  const ResultCache::Stats stats = cache.SnapshotStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 90u);
+}
+
+TEST(ResultCacheEviction, EntryBoundEvictsInRecencyOrder) {
+  ResultCache cache(/*max_entries=*/2, /*max_bytes=*/1 << 20);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  cache.Put(3, "three");  // evicts 1 (oldest)
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(ResultCacheEviction, ConcurrentMixedSizeInsertsKeepInvariants) {
+  // Hammer a small cache from several threads with values of very different
+  // sizes, interleaved with hits. Afterwards the byte and entry bounds must
+  // hold, every surviving entry must be readable, and the counters must be
+  // consistent — no lost bytes, no double-evictions, no torn values.
+  constexpr std::size_t kMaxEntries = 16;
+  constexpr std::size_t kMaxBytes = 4096;
+  ResultCache cache(kMaxEntries, kMaxBytes);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>((t * 37 + i) % 64);
+        // Sizes from 1 byte to ~1.5 KiB, deterministic per key so a hit
+        // can be validated against what any writer would have stored.
+        const std::size_t size = 1 + (key * 24) % 1536;
+        if (i % 3 == 0) {
+          const auto hit = cache.Get(key);
+          if (hit.has_value()) {
+            // Value must be exactly what some writer put for this key —
+            // same size, same fill byte — never a mix of two inserts.
+            EXPECT_EQ(hit->size(), size);
+            EXPECT_EQ(hit->find_first_not_of(
+                          static_cast<char>('a' + (key % 26))),
+                      std::string::npos);
+          }
+        } else {
+          cache.Put(key,
+                    std::string(size, static_cast<char>('a' + (key % 26))));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const ResultCache::Stats stats = cache.SnapshotStats();
+  EXPECT_LE(stats.entries, kMaxEntries);
+  EXPECT_LE(stats.bytes, kMaxBytes);
+  // Recount by probing every possible key: surviving entries must agree
+  // with the stats snapshot.
+  std::size_t live = 0, live_bytes = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    if (const auto hit = cache.Get(key)) {
+      ++live;
+      live_bytes += hit->size();
+      EXPECT_EQ(hit->size(), 1 + (key * 24) % 1536);
+    }
+  }
+  EXPECT_EQ(live, stats.entries);
+  EXPECT_EQ(live_bytes, stats.bytes);
 }
 
 }  // namespace
