@@ -47,8 +47,15 @@
 //                  [--trials <n>] [--sigma <s>] [--seed <n>]
 //                  [--strategy exhaustive|random|adversarial]
 //                  [--fault permanent|transient] [--sites <n>] [--vectors <n>]
+//                  [--deadline-ms <n>] [--work-budget <n>]
+//                  [--read-timeout-ms <n>]
 //       send one request to a running daemon and print the result JSON
 //       (connects and retries with backoff while the daemon is overloaded).
+//       --deadline-ms bounds server-side compute: an expired deadline aborts
+//       the analysis mid-flight and answers `deadline_exceeded`.
+//       --work-budget caps BDD recursion steps (`resource_exhausted` past
+//       it). --read-timeout-ms bounds the local wait for each response
+//       frame so a wedged daemon surfaces a typed FrameError, not a hang.
 //   speedmask_cli stats [--socket <path|host:port>]
 //   speedmask_cli shutdown [--socket <path|host:port>]
 //       query daemon/fleet counters / drain and stop the daemon or fleet.
@@ -446,7 +453,8 @@ int CmdSubmit(std::vector<std::string> args) {
     std::cerr << "usage: speedmask_cli submit <circuit> [--socket <path>] "
                  "[--method spcf|flow|yield|inject|optimize] "
                  "[--guard <frac>] [--algo node|path|short] [--trials <n>] "
-                 "[--sigma <s>] [--seed <n>]\n";
+                 "[--sigma <s>] [--seed <n>] [--deadline-ms <n>] "
+                 "[--work-budget <n>] [--read-timeout-ms <n>]\n";
     return 2;
   }
   const std::string socket =
@@ -509,13 +517,22 @@ int CmdSubmit(std::vector<std::string> args) {
       std::stoull(GetFlag(args, "--population").value_or("16"));
   request.generations =
       std::stoull(GetFlag(args, "--generations").value_or("6"));
+  request.deadline_ms =
+      std::stod(GetFlag(args, "--deadline-ms").value_or("0"));
+  request.work_budget =
+      std::stoull(GetFlag(args, "--work-budget").value_or("0"));
+  ClientOptions client_options;
+  client_options.read_timeout_ms =
+      std::stoi(GetFlag(args, "--read-timeout-ms").value_or("0"));
 
   // Campaign submissions ride out a briefly saturated daemon instead of
   // failing on the first "overloaded".
-  auto client = ServiceClient::ConnectWithRetry(socket);
+  auto client = ServiceClient::ConnectWithRetry(socket, {}, client_options);
   const ServiceResponse response = client->CallWithRetry(std::move(request));
   if (!response.ok()) {
-    std::cerr << response.status << ": " << response.error << "\n";
+    std::cerr << response.status << ": " << response.error
+              << (response.code.empty() ? "" : " [" + response.code + "]")
+              << (response.retryable() ? " (retryable)" : "") << "\n";
     return 1;
   }
   std::cout << response.result_json << "\n";

@@ -379,6 +379,10 @@ BddManager::Ref BddManager::IteRec(Ref f, Ref g, Ref h) {
   Ref cached;
   if (CacheLookup(f, g, h, &cached)) return cached ^ out_neg;
   ++ite_recursions_;
+  if (cancel_ != nullptr && (ite_recursions_ & kCancelStrideMask) == 0) {
+    cancel_->ConsumeWork(kCancelStrideMask + 1);
+    cancel_->Check();
+  }
 
   // Top variable = the operand var at the smallest *level* of the current
   // order (constants carry the sentinel var, which maps to the largest
@@ -429,6 +433,10 @@ BddManager::Ref BddManager::XorRec(Ref f, Ref g) {
   Ref cached;
   if (CacheLookup(f, g, kXorTag, &cached)) return cached ^ out_neg;
   ++ite_recursions_;
+  if (cancel_ != nullptr && (ite_recursions_ & kCancelStrideMask) == 0) {
+    cancel_->ConsumeWork(kCancelStrideMask + 1);
+    cancel_->Check();
+  }
 
   const std::uint32_t lf = level_of_var_[nodes_[IndexOf(f)].var];
   const std::uint32_t lg = level_of_var_[nodes_[IndexOf(g)].var];
@@ -1043,6 +1051,9 @@ bool BddManager::ReorderTriggered() const {
 }
 
 bool BddManager::Checkpoint() {
+  // Checkpoints are the safe points of every long BDD flow (between global
+  // gates, between outputs), so they double as cancellation poll points.
+  if (cancel_ != nullptr) cancel_->Check();
   bool acted = false;
   if (ReorderTriggered()) {
     Reorder();  // collects internally

@@ -64,6 +64,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/cancel.h"
+
 namespace sm {
 
 class BddOverflowError : public std::runtime_error {
@@ -251,6 +253,15 @@ class BddManager {
   // var_at_level as a vector (the full current order, root first).
   std::vector<int> VariableOrder() const;
 
+  // Attaches (or with nullptr detaches) a cooperative cancellation token.
+  // While attached, Checkpoint() and every few thousand ITE/XOR recursions
+  // poll it and abort by throwing CancelledError; recursion counts are
+  // charged to its work budget. An abort can leave dead unregistered nodes
+  // behind — detach the token and GarbageCollect() to return the manager to
+  // a clean reusable state (the daemon's warm-manager recovery path).
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
   // Snapshot of the cumulative work counters.
   BddStats Stats() const;
 
@@ -290,6 +301,10 @@ class BddManager {
 
   static constexpr Ref kInvalidRef = ~Ref{0};
   static constexpr Ref kXorTag = ~Ref{0} - 1;
+  // Cancellation poll stride: the token is checked once per this many + 1
+  // ITE/XOR recursions (power-of-two mask on ite_recursions_), bounding
+  // abort latency to microseconds while keeping the hot path branch-cheap.
+  static constexpr std::size_t kCancelStrideMask = 0x1FFF;
 
   bool IsFreeSlot(std::size_t index) const;
   Ref MakeNode(std::uint32_t var, Ref lo, Ref hi);
@@ -318,6 +333,9 @@ class BddManager {
   bool ReorderTriggered() const;
 
   static std::uint64_t UniqueKey(std::uint32_t var, Ref lo, Ref hi);
+
+  // Polled at Checkpoint() and on an ITE-recursion stride; not owned.
+  const CancelToken* cancel_ = nullptr;
 
   int num_vars_;
   BddManagerOptions options_;

@@ -84,8 +84,10 @@ void FleetRouter::HandleConnection(std::shared_ptr<Connection> conn) {
     } catch (const FrameError& e) {
       // Unsyncable garbage from the client: best-effort error, then drop.
       try {
-        WriteFrame(conn->fd, SerializeResponse(
-                                 ServiceResponse{0, "error", "", e.what()}));
+        WriteFrame(conn->fd,
+                   SerializeResponse(ServiceResponse{
+                       0, "error", "", e.what(),
+                       ToString(ErrorCode::kInvalidRequest)}));
       } catch (...) {
       }
       break;
@@ -96,8 +98,8 @@ void FleetRouter::HandleConnection(std::shared_ptr<Connection> conn) {
     try {
       response = RouteRequest(*conn, *payload, &shutdown_after);
     } catch (const std::exception& e) {
-      response =
-          SerializeResponse(ServiceResponse{0, "error", "", e.what()});
+      response = SerializeResponse(ServiceResponse{
+          0, "error", "", e.what(), ToString(ErrorCode::kInternal)});
     }
     try {
       WriteFrame(conn->fd, response);
@@ -130,12 +132,12 @@ std::string FleetRouter::RouteRequest(Connection& conn,
 
   if (parsed && request.method == ServiceMethod::kStats) {
     return SerializeResponse(
-        ServiceResponse{request.id, "ok", AggregateStatsJson(), ""});
+        ServiceResponse{request.id, "ok", AggregateStatsJson(), "", ""});
   }
   if (parsed && request.method == ServiceMethod::kShutdown) {
     ShutdownFleet();  // every shard drains its accepted work first
     *shutdown_after = true;
-    return SerializeResponse(ServiceResponse{request.id, "ok", "", ""});
+    return SerializeResponse(ServiceResponse{request.id, "ok", "", "", ""});
   }
 
   const std::uint64_t key = RoutingKey(payload);
@@ -207,8 +209,12 @@ std::string FleetRouter::ForwardWithFailover(Connection& conn,
     try {
       shard = ring_.PickExcluding(key, excluded);
     } catch (const std::invalid_argument&) {
+      // Retryable by the taxonomy: shards come back (probe clears the
+      // unhealthy mark, RestoreShard undrains), so the client should back
+      // off and resubmit rather than treat this as a permanent failure.
       return SerializeResponse(ServiceResponse{
-          0, "error", "", "no shard available (all drained or unreachable)"});
+          0, "error", "", "no shard available (all drained or unreachable)",
+          ToString(ErrorCode::kUnavailable)});
     }
     std::string response;
     try {
@@ -249,7 +255,8 @@ std::string FleetRouter::ExchangeWithShard(Connection& conn, int shard,
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (client == nullptr) {
       client = std::make_unique<ServiceClient>(
-          options_.shards[static_cast<std::size_t>(shard)]);
+          options_.shards[static_cast<std::size_t>(shard)],
+          ClientOptions{options_.shard_read_timeout_ms});
     }
     try {
       std::string response = client->Exchange(payload);
@@ -285,7 +292,8 @@ bool FleetRouter::IsDrained(int shard) const {
 bool FleetRouter::ProbeShard(int shard) {
   bool healthy = false;
   try {
-    ServiceClient probe(options_.shards.at(static_cast<std::size_t>(shard)));
+    ServiceClient probe(options_.shards.at(static_cast<std::size_t>(shard)),
+                        ClientOptions{options_.shard_read_timeout_ms});
     healthy = probe.Stats().ok();
   } catch (const std::exception&) {
     healthy = false;
@@ -335,7 +343,8 @@ std::string FleetRouter::AggregateStatsJson() {
     Json stats_json;  // null when the probe fails
     bool healthy = false;
     try {
-      ServiceClient probe(options_.shards[static_cast<std::size_t>(s)]);
+      ServiceClient probe(options_.shards[static_cast<std::size_t>(s)],
+                          ClientOptions{options_.shard_read_timeout_ms});
       const ServiceResponse r = probe.Stats();
       if (r.ok()) {
         stats_json = Json::Parse(r.result_json);
@@ -394,7 +403,8 @@ std::string FleetRouter::AggregateStatsJson() {
 void FleetRouter::ShutdownFleet() {
   for (int s = 0; s < ring_.num_shards(); ++s) {
     try {
-      ServiceClient client(options_.shards[static_cast<std::size_t>(s)]);
+      ServiceClient client(options_.shards[static_cast<std::size_t>(s)],
+                           ClientOptions{options_.shard_read_timeout_ms});
       client.Shutdown();  // returns once the shard drained
     } catch (const std::exception&) {
       // Already down — that is the goal state.

@@ -67,6 +67,13 @@ struct RouterOptions {
   int vnodes_per_shard = 64;
   std::size_t max_frame_bytes = 16u << 20;
   int write_timeout_ms = 10'000;
+  // SO_RCVTIMEO on every upstream shard connection (forward, probe, stats,
+  // fleet shutdown). A shard that accepts the forwarded frame and then
+  // wedges — instead of dying, which the reconnect path already handles —
+  // times out as a FrameError, which marks the shard unhealthy and replays
+  // the request on the surviving ring. 0 disables (a wedged shard then
+  // blocks that client connection indefinitely).
+  int shard_read_timeout_ms = 0;
   // Memoized circuit-spec -> sm_hash entries (routing skips re-parsing a
   // repeated inline BLIF); the map is cleared when it exceeds this bound.
   std::size_t key_cache_entries = 1024;

@@ -7,6 +7,28 @@
 #include "util/check.h"
 
 namespace sm {
+namespace {
+
+// Attaches a cancel token to a manager for the current scope and always
+// detaches on exit (including the CancelledError unwind), so a flow-owned
+// manager never escapes with a dangling token pointer.
+class ScopedManagerCancel {
+ public:
+  ScopedManagerCancel(BddManager* mgr, const CancelToken* token)
+      : mgr_(token != nullptr ? mgr : nullptr) {
+    if (mgr_ != nullptr) mgr_->SetCancelToken(token);
+  }
+  ScopedManagerCancel(const ScopedManagerCancel&) = delete;
+  ScopedManagerCancel& operator=(const ScopedManagerCancel&) = delete;
+  ~ScopedManagerCancel() {
+    if (mgr_ != nullptr) mgr_->SetCancelToken(nullptr);
+  }
+
+ private:
+  BddManager* mgr_;
+};
+
+}  // namespace
 
 void ValidateFlowOptions(const FlowOptions& options, std::size_t num_outputs) {
   SM_REQUIRE(std::isfinite(options.spcf.guard_band) &&
@@ -41,6 +63,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                                          mgr_options);
     mgr = owned.get();
   }
+  const CancelToken* cancel = options.cancel;
   FlowResult r{std::move(owned),
                original,
                TimingInfo{},
@@ -50,7 +73,13 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                MaskingVerification{},
                OverheadReport{},
                BddStats{}};
+  // Flow-owned managers get the token for ITE-stride polling; an external
+  // reuse_manager keeps whatever token its owner attached (the daemon
+  // attaches one around the whole request). Declared after `r` so the token
+  // is detached before the owned manager is destroyed on unwind.
+  const ScopedManagerCancel mgr_cancel(r.mgr.get(), cancel);
   r.timing = AnalyzeTiming(r.original);
+  if (cancel != nullptr) cancel->Check();
 
   // 2. SPCF over the mapped gates. The engine (and with it the timed χ
   // memos and the mapped global BDDs) lives only for this phase.
@@ -70,6 +99,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
   spcf_roots.push_back(r.spcf.sigma_union);
   const BddRootScope spcf_scope(*mgr, &spcf_roots);
   mgr->GarbageCollect();
+  if (cancel != nullptr) cancel->Check();
 
   // 3. Masking synthesis over the technology-independent network.
   std::vector<NodeId> troots;
@@ -79,6 +109,7 @@ FlowResult RunMaskingFlowPremapped(const MappedNetlist& original,
                                        options.synth);
 
   // 4. Delay-mode mapping + output muxes.
+  if (cancel != nullptr) cancel->Check();
   r.protected_circuit =
       IntegrateMasking(r.original, r.masking, lib, options.integrate);
 

@@ -39,6 +39,11 @@ struct FlowOptions {
   // unique-table/op-cache across requests. Results are identical either way
   // (interned nodes and caches change only the work done, never the BDDs).
   BddManager* reuse_manager = nullptr;
+  // Cooperative cancellation: polled between flow phases and, for a
+  // flow-owned manager, attached to the manager for ITE-stride checks (a
+  // reuse_manager keeps whatever token its owner attached). Aborts throw
+  // CancelledError; the token must outlive the flow call. Not owned.
+  const CancelToken* cancel = nullptr;
 };
 
 struct FlowResult {

@@ -49,6 +49,7 @@ FlowResult InProcessEvaluator::RunCandidateFlow(
   FlowOptions options;
   options.spcf.guard_band = candidate.guard;
   options.synth = SynthOptionsForCandidate(candidate);
+  options.cancel = config_.cancel;
   return RunMaskingFlowPremapped(mapped_, ti_, lib_, options);
 }
 
@@ -63,6 +64,7 @@ OptEvaluation InProcessEvaluator::EvaluateOne(
     yield_options.seed = config_.yield_seed;
     yield_options.model.sigma = config_.sigma;
     yield_options.guard_band = candidate.guard;
+    yield_options.cancel = config_.cancel;
     const YieldMcResult yield = EstimateTimingYield(flow, yield_options);
     e.area_percent = flow.overheads.area_percent;
     e.power_percent = flow.overheads.power_percent;
@@ -96,6 +98,7 @@ std::size_t InProcessEvaluator::SpotCheck(const CandidateConfig& candidate) {
   options.vectors_per_site = config_.spot_vectors;
   options.seed = config_.spot_seed;
   options.threads = 1;
+  options.cancel = config_.cancel;
   return RunFaultInjectionCampaign(flow, options).escapes;
 }
 

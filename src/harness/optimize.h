@@ -34,6 +34,11 @@ struct OptEvalConfig {
   std::size_t spot_sites = 12;
   std::size_t spot_vectors = 12;
   std::uint64_t spot_seed = 2009;
+  // Cooperative cancellation threaded into every candidate flow, yield run
+  // and spot-check (the same token the optimizer polls per generation), so
+  // a deadline aborts mid-candidate rather than at the next generation
+  // boundary. Not owned; never part of the canonical output.
+  const CancelToken* cancel = nullptr;
 };
 
 void ValidateOptEvalConfig(const OptEvalConfig& config);

@@ -215,6 +215,10 @@ std::vector<SiteContext> BuildSiteContexts(const MappedNetlist& original,
 
   try {
     BddManager mgr(static_cast<int>(prot.NumInputs()), options.bdd_node_limit);
+    // Local manager, destroyed with this scope — safe to attach directly.
+    // CancelledError passes the BddOverflowError catch below and aborts the
+    // whole campaign, as it should.
+    mgr.SetCancelToken(options.cancel);
     const std::vector<BddManager::Ref> gbdd =
         BuildMappedGlobalBdds(mgr, prot, roots);
     for (std::size_t i = 0; i < sites.size(); ++i) {
@@ -615,6 +619,13 @@ InjectionCampaignResult RunInjectionCampaign(
 
   const auto run_trials_scalar = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t t = lo; t < hi; ++t) {
+      // Cancellation: skip instead of throwing across the pool; the
+      // post-pool Check() raises the typed error after the workers drain.
+      if (options.cancel != nullptr &&
+          options.cancel->Status() != ErrorCode::kOk) {
+        return;
+      }
+      if (options.cancel != nullptr) options.cancel->ConsumeWork(1);
       const std::size_t site_index = t / options.vectors_per_site;
       const std::size_t vector_index = t % options.vectors_per_site;
       const TrialSetup s =
@@ -642,7 +653,14 @@ InjectionCampaignResult RunInjectionCampaign(
     std::vector<std::uint64_t> prev_words(prot.NumInputs());
     std::vector<std::uint64_t> next_words(prot.NumInputs());
     for (std::size_t base = lo; base < hi; base += width) {
+      if (options.cancel != nullptr &&
+          options.cancel->Status() != ErrorCode::kOk) {
+        return;
+      }
       const int count = static_cast<int>(std::min(width, hi - base));
+      if (options.cancel != nullptr) {
+        options.cancel->ConsumeWork(static_cast<std::uint64_t>(count));
+      }
       BatchEventSimConfig cfg;
       cfg.clock = protected_clock;
       cfg.lanes = count;
@@ -711,6 +729,9 @@ InjectionCampaignResult RunInjectionCampaign(
                        run_trials_scalar(lo, hi);
                      }
                    });
+  // Raise the typed error only after the pool has drained: workers skipped
+  // rather than threw, so no exception crosses a thread boundary.
+  if (options.cancel != nullptr) options.cancel->Check();
 
   // Sequential reduction in trial order — deterministic at any thread count.
   r.trials = trials;

@@ -38,6 +38,7 @@
 
 #include "masking/integrate.h"
 #include "sim/event_sim.h"
+#include "util/cancel.h"
 
 namespace sm {
 
@@ -116,6 +117,12 @@ struct InjectOptions {
   bool shrink = true;
   std::size_t max_shrink_escapes = 4;
   std::size_t max_escape_records = 64;
+  // Cooperative cancellation, polled per (site, vector) trial: a tripped
+  // token makes the remaining trials no-ops and the post-pool check throws
+  // CancelledError before the sequential reduction — a cancelled campaign
+  // never returns partial counts. Also attached to the sensitization BDD
+  // manager. Not owned.
+  const CancelToken* cancel = nullptr;
   // Output indices (strictly ascending) whose errors are NOT guarantee
   // violations: under a partial protection scope, a critical output left
   // outside the scope carries no masking claim — its residual risk is

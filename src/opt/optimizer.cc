@@ -91,6 +91,7 @@ OptimizeResult RunMaskingOptimizer(CandidateEvaluator& evaluator,
       keys.push_back(std::move(key));
     }
     if (fresh.empty()) return;
+    if (options.cancel != nullptr) options.cancel->Check();
     std::vector<CandidateConfig> configs;
     configs.reserve(fresh.size());
     for (const OptGenome& g : fresh) configs.push_back(ResolveGenome(g, space));
@@ -134,6 +135,7 @@ OptimizeResult RunMaskingOptimizer(CandidateEvaluator& evaluator,
   };
 
   for (std::size_t gen = 1; gen <= options.generations; ++gen) {
+    if (options.cancel != nullptr) options.cancel->Check();
     Rng rng = Rng::ForStream(options.seed, gen);
 
     std::vector<Nsga2Item> items;
@@ -187,6 +189,10 @@ OptimizeResult RunMaskingOptimizer(CandidateEvaluator& evaluator,
     for (const std::size_t i : keep) next.push_back(combined[i]);
     population = std::move(next);
   }
+  // Evaluators swallow per-candidate exceptions into ok=false entries, so a
+  // token tripped during the last batch would otherwise slip through as a
+  // degenerate "every candidate failed" front. Re-raise it here.
+  if (options.cancel != nullptr) options.cancel->Check();
 
   result.distinct_evaluations = archive.size();
   if (const auto it = archive.find(baseline_key); it != archive.end()) {

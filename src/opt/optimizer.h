@@ -37,6 +37,7 @@
 
 #include "opt/evaluator.h"
 #include "opt/genome.h"
+#include "util/cancel.h"
 
 namespace sm {
 
@@ -53,6 +54,12 @@ struct OptimizerOptions {
   double crossover_rate = 0.9;
   // Adversarial injection spot-check of front members (evaluator budget).
   bool spot_check = true;
+  // Cooperative cancellation, polled at each generation boundary and before
+  // every evaluation batch; a tripped token throws CancelledError (the
+  // search returns nothing partial). Kernel-level checks inside each
+  // candidate's flow come from the evaluator wiring the same token through
+  // its FlowOptions. Not owned.
+  const CancelToken* cancel = nullptr;
 };
 
 // population >= 2, generations >= 1, target_yield in [0, 1], finite

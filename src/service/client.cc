@@ -1,5 +1,7 @@
 #include "service/client.h"
 
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -38,11 +40,21 @@ double RetryBackoffMs(const RetryPolicy& policy, int attempt) {
   return base * jitter;
 }
 
-ServiceClient::ServiceClient(const std::string& address) {
+ServiceClient::ServiceClient(const std::string& address,
+                             const ClientOptions& options) {
   fd_ = ConnectToAddress(ParseServiceAddress(address));
   if (fd_ < 0) {
     throw std::runtime_error("cannot connect to speedmask daemon at " +
                              address + ": " + std::strerror(errno));
+  }
+  if (options.read_timeout_ms > 0) {
+    // Bound every blocking read: a wedged daemon surfaces as FrameError
+    // ("frame read timed out", via ReadExact's EAGAIN path) instead of
+    // hanging this thread until the daemon is killed.
+    struct timeval tv;
+    tv.tv_sec = options.read_timeout_ms / 1000;
+    tv.tv_usec = (options.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
 }
 
@@ -80,11 +92,12 @@ ServiceResponse ServiceClient::CallWithRetry(ServiceRequest request,
 }
 
 std::unique_ptr<ServiceClient> ServiceClient::ConnectWithRetry(
-    const std::string& address, const RetryPolicy& policy) {
+    const std::string& address, const RetryPolicy& policy,
+    const ClientOptions& options) {
   SM_REQUIRE(policy.max_attempts > 0, "max_attempts must be positive");
   for (int attempt = 0;; ++attempt) {
     try {
-      return std::make_unique<ServiceClient>(address);
+      return std::make_unique<ServiceClient>(address, options);
     } catch (const std::runtime_error&) {
       if (attempt + 1 >= policy.max_attempts) throw;
     }

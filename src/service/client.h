@@ -37,12 +37,23 @@ struct RetryPolicy {
 // max), jittered. Pure function of (policy, attempt).
 double RetryBackoffMs(const RetryPolicy& policy, int attempt);
 
+struct ClientOptions {
+  // SO_RCVTIMEO on the connection: a daemon that accepts but never replies
+  // (wedged worker, half-dead host) makes the blocked read fail with a
+  // FrameError ("frame read timed out") after this long instead of hanging
+  // the caller forever. 0 (the default) blocks indefinitely — the
+  // pre-timeout behavior, right for in-process servers under test where the
+  // daemon is known alive.
+  int read_timeout_ms = 0;
+};
+
 class ServiceClient {
  public:
   // Connects immediately; throws std::runtime_error when the daemon is not
   // reachable at `address` (a Unix socket path or "host:port") and
   // std::invalid_argument when the address itself is malformed.
-  explicit ServiceClient(const std::string& address);
+  explicit ServiceClient(const std::string& address,
+                         const ClientOptions& options = {});
   ~ServiceClient();
 
   ServiceClient(const ServiceClient&) = delete;
@@ -73,7 +84,8 @@ class ServiceClient {
   // max_attempts tries — campaign submissions survive a daemon that is
   // briefly down or still binding its socket.
   static std::unique_ptr<ServiceClient> ConnectWithRetry(
-      const std::string& address, const RetryPolicy& policy = {});
+      const std::string& address, const RetryPolicy& policy = {},
+      const ClientOptions& options = {});
 
   // Convenience wrappers. `circuit` is a built-in paper-circuit name unless
   // `is_blif` is set, in which case it is inline BLIF text.

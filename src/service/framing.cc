@@ -96,6 +96,12 @@ bool ReadExact(int fd, char* buf, std::size_t n) {
     const ssize_t r = ::read(fd, buf + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (ClientOptions.read_timeout_ms): the peer is
+        // wedged or the frame was dropped in transit. Typed timeout rather
+        // than an indefinite hang.
+        throw FrameError("frame read timed out (peer not answering)");
+      }
       throw FrameError(std::string("frame read failed: ") +
                        std::strerror(errno));
     }

@@ -117,6 +117,7 @@ std::string SerializeRequest(const ServiceRequest& request) {
     }
   }
   if (request.deadline_ms > 0) obj.Set("deadline_ms", request.deadline_ms);
+  if (request.work_budget > 0) obj.Set("work_budget", request.work_budget);
   return obj.Dump();
 }
 
@@ -156,6 +157,7 @@ ServiceRequest ParseRequest(const std::string& payload) {
     r.population = doc.GetUint64("population", 16);
     r.generations = doc.GetUint64("generations", 6);
     r.deadline_ms = doc.GetDouble("deadline_ms", 0);
+    r.work_budget = doc.GetUint64("work_budget", 0);
   } catch (const JsonError& e) {
     throw ParseError(std::string("bad request field: ") + e.what());
   }
@@ -210,6 +212,13 @@ std::string SerializeResponse(const ServiceResponse& response) {
     out += ",\"error\":";
     out += err.Dump();
   }
+  if (!response.code.empty()) {
+    // Canonical snake_case vocabulary (util/cancel.h), never escaped.
+    // Omitted when empty, so ok responses keep their pre-taxonomy bytes.
+    out += ",\"code\":\"";
+    out += response.code;
+    out += '"';
+  }
   out += '}';
   return out;
 }
@@ -226,6 +235,7 @@ ServiceResponse ParseResponse(const std::string& payload) {
   r.id = doc.GetUint64("id", 0);
   r.status = doc.GetString("status");
   r.error = doc.GetStringOr("error", "");
+  r.code = doc.GetStringOr("code", "");
   if (const Json* result = doc.Find("result")) {
     r.result_json = result->Dump();
   }

@@ -38,6 +38,7 @@
 #include "harness/flow.h"
 #include "inject/campaign.h"
 #include "network/network.h"
+#include "util/cancel.h"
 #include "variation/monte_carlo.h"
 
 namespace sm {
@@ -88,6 +89,12 @@ struct ServiceRequest {
   std::uint64_t generations = 6;
   // 0 = no deadline.
   double deadline_ms = 0;
+  // 0 = no budget. Caps the compute charged to this request in work units
+  // (BDD ITE recursions, MC/injection trials); overflow answers with a
+  // typed "resource_exhausted" error. Like deadline_ms this is an execution
+  // constraint, not part of the analysis — both are excluded from the cache
+  // key and from serialization when at their defaults.
+  std::uint64_t work_budget = 0;
 
   bool IsAnalysis() const {
     return method == ServiceMethod::kAnalyzeSpcf ||
@@ -108,8 +115,18 @@ struct ServiceResponse {
   std::string status;       // see file comment
   std::string result_json;  // serialized result object; empty unless ok
   std::string error;        // human-readable; empty when ok
+  // Canonical machine-readable failure code (util/cancel.h taxonomy:
+  // "deadline_exceeded", "resource_exhausted", "cancelled",
+  // "invalid_circuit", "invalid_request", "overloaded", "unavailable",
+  // "internal"). Empty when ok — and then omitted from the wire form, so
+  // successful responses are byte-identical to the pre-taxonomy protocol.
+  std::string code;
 
   bool ok() const { return status == "ok"; }
+  // The taxonomy's retryability verdict for this response.
+  bool retryable() const {
+    return !code.empty() && IsRetryableError(ErrorCodeFromString(code));
+  }
 };
 
 std::string SerializeResponse(const ServiceResponse& response);

@@ -33,8 +33,38 @@ struct SpeedmaskServer::Connection {
   // writers that still hold a shared_ptr.
   void ForceClose() { ::shutdown(fd, SHUT_RDWR); }
 
+  // ---- In-flight cancellation -------------------------------------------
+  // Workers register their request's token while computing; the reader
+  // thread cancels every registered token when the client vanishes, so a
+  // disconnect aborts the work mid-kernel instead of computing into a dead
+  // socket. Tokens registered after the client is known gone are cancelled
+  // at registration (the reader thread has already exited by then).
+
+  void RegisterCancel(CancelToken* token) {
+    std::lock_guard<std::mutex> lock(cancel_mutex);
+    if (client_gone) {
+      token->Cancel();
+      return;
+    }
+    in_flight.push_back(token);
+  }
+
+  void UnregisterCancel(CancelToken* token) {
+    std::lock_guard<std::mutex> lock(cancel_mutex);
+    std::erase(in_flight, token);
+  }
+
+  void CancelInFlight() {
+    std::lock_guard<std::mutex> lock(cancel_mutex);
+    client_gone = true;
+    for (CancelToken* token : in_flight) token->Cancel();
+  }
+
   const int fd;
   std::mutex write_mutex;
+  std::mutex cancel_mutex;
+  std::vector<CancelToken*> in_flight;
+  bool client_gone = false;
 };
 
 // Per-worker persistent state: warm BddManagers keyed by variable count.
@@ -77,6 +107,18 @@ struct SpeedmaskServer::WorkerContext {
   void DropManager(int num_vars) {
     const auto it = managers.find(num_vars);
     if (it != managers.end()) Retire(it);
+  }
+
+  // Loss-free recovery after a cancelled request: the abort unwound through
+  // the flow's RAII root scopes, so nothing is registered — detach the
+  // token and sweep the dead intermediates. The manager stays warm
+  // (capacity, op cache, counters) and the next request on it produces
+  // byte-identical results to a fresh manager, which cancel_test gates.
+  void RecoverManager(int num_vars) {
+    const auto it = managers.find(num_vars);
+    if (it == managers.end()) return;
+    it->second->SetCancelToken(nullptr);
+    it->second->GarbageCollect();
   }
 
   std::size_t TotalNodes() const {
@@ -197,7 +239,9 @@ void SpeedmaskServer::HandleConnection(std::shared_ptr<Connection> conn) {
       // Garbage or oversized framing: the byte stream cannot be resynced.
       // Best-effort error reply, then drop the connection.
       try {
-        SendResponse(conn, ServiceResponse{0, "error", "", e.what()});
+        SendResponse(conn, ServiceResponse{0, "error", "",
+                                           e.what(),
+                                           ToString(ErrorCode::kInvalidRequest)});
       } catch (...) {
       }
       break;
@@ -208,8 +252,14 @@ void SpeedmaskServer::HandleConnection(std::shared_ptr<Connection> conn) {
     } catch (const FrameError&) {
       break;  // reply write failed: peer is gone
     }
-    if (IsStopped()) break;
+    if (IsStopped()) return;  // server stop, not a client death: no cancel
   }
+  // The client is gone (EOF, garbage framing, or a failed reply write):
+  // nobody is waiting for this connection's in-flight analyses, so abort
+  // them mid-kernel rather than compute into a dead socket. A server stop
+  // returns above instead — drained work must complete for the fleet's
+  // zero-drop restart contract.
+  conn->CancelInFlight();
 }
 
 bool SpeedmaskServer::IsStopped() {
@@ -227,7 +277,8 @@ void SpeedmaskServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     request = ParseRequest(payload);
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    SendResponse(conn, ServiceResponse{0, "error", "", e.what()});
+    SendResponse(conn, ServiceResponse{0, "error", "", e.what(),
+                                       ToString(ErrorCode::kInvalidRequest)});
     return;
   }
   by_method_[static_cast<int>(request.method)].fetch_add(
@@ -236,12 +287,12 @@ void SpeedmaskServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   if (request.method == ServiceMethod::kStats) {
     const ServiceStatsSnapshot stats = SnapshotStats();
     SendResponse(conn,
-                 ServiceResponse{request.id, "ok", stats.ToResultJson(), ""});
+                 ServiceResponse{request.id, "ok", stats.ToResultJson(), "", ""});
     return;
   }
   if (request.method == ServiceMethod::kShutdown) {
     Shutdown();  // returns once every accepted request has completed
-    SendResponse(conn, ServiceResponse{request.id, "ok", "", ""});
+    SendResponse(conn, ServiceResponse{request.id, "ok", "", "", ""});
     CloseAllConnections();
     return;
   }
@@ -249,7 +300,8 @@ void SpeedmaskServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   if (draining_.load()) {
     rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
     SendResponse(conn, ServiceResponse{request.id, "shutting_down", "",
-                                       "daemon is draining"});
+                                       "daemon is draining",
+                                       ToString(ErrorCode::kUnavailable)});
     return;
   }
 
@@ -262,12 +314,13 @@ void SpeedmaskServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     key = RequestCacheKey(request, circuit);
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    SendResponse(conn, ServiceResponse{request.id, "error", "", e.what()});
+    SendResponse(conn, ServiceResponse{request.id, "error", "", e.what(),
+                                       ToString(ErrorCode::kInvalidCircuit)});
     return;
   }
   if (std::optional<std::string> hit = cache_.Get(key)) {
     ok_.fetch_add(1, std::memory_order_relaxed);
-    SendResponse(conn, ServiceResponse{request.id, "ok", *hit, ""});
+    SendResponse(conn, ServiceResponse{request.id, "ok", *hit, "", ""});
     RecordLatency(received.Millis());
     return;
   }
@@ -281,7 +334,8 @@ void SpeedmaskServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                    ServiceResponse{request.id, "overloaded", "",
                                    "queue full (" +
                                        std::to_string(options_.queue_capacity) +
-                                       " outstanding requests)"});
+                                       " outstanding requests)",
+                                   ToString(ErrorCode::kOverloaded)});
       return;
     }
     ++pending_;
@@ -300,32 +354,87 @@ void SpeedmaskServer::RunAnalysis(std::shared_ptr<Connection> conn,
                                   ServiceRequest request, Network circuit,
                                   std::uint64_t key, double deadline_ms,
                                   WallTimer received) {
-  ServiceResponse response{request.id, "", "", ""};
+  ServiceResponse response{request.id, "", "", "", ""};
   if (deadline_ms > 0 && received.Millis() > deadline_ms) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     response.status = "timeout";
     response.error = "deadline of " + JsonNumberToString(deadline_ms) +
                      " ms expired in queue";
+    response.code = ToString(ErrorCode::kDeadlineExceeded);
   } else {
+    // The request's cancel token: armed with whatever remains of the
+    // deadline after the queue wait, the request's work budget, and wired
+    // to the connection so a client disconnect aborts the kernels
+    // mid-flight. enable_cancellation=false (the chaos harness's planted
+    // regression) computes with no token, exactly the pre-cancellation
+    // wedge behavior.
+    CancelToken token;
+    if (deadline_ms > 0) token.SetDeadlineAfterMs(deadline_ms - received.Millis());
+    if (request.work_budget > 0) token.SetWorkBudget(request.work_budget);
+    const bool use_token = options_.enable_cancellation;
+    // RAII: unregisters from the connection on every exit path below,
+    // before `token` dies with this frame.
+    struct CancelScope {
+      Connection* conn;
+      CancelToken* token;
+      ~CancelScope() {
+        if (conn != nullptr) conn->UnregisterCancel(token);
+      }
+    } cancel_scope{use_token ? conn.get() : nullptr, &token};
+    if (cancel_scope.conn != nullptr) cancel_scope.conn->RegisterCancel(&token);
+
     WorkerContext* ctx = AcquireWorker();
+    const int num_vars = static_cast<int>(circuit.NumInputs());
     try {
-      response.result_json = ComputeResult(*ctx, request, circuit);
+      response.result_json =
+          ComputeResult(*ctx, request, circuit, use_token ? &token : nullptr);
       response.status = "ok";
+    } catch (const CancelledError& e) {
+      // Mid-flight abort: typed reply, then sweep the warm manager back to
+      // a clean reusable state — the shard survives and stays warm.
+      ctx->RecoverManager(num_vars);
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      response.code = ToString(e.code());
+      response.error = e.what();
+      if (e.code() == ErrorCode::kDeadlineExceeded) {
+        response.status = "timeout";
+      } else {
+        response.status = "error";
+      }
     } catch (const BddOverflowError& e) {
       // The manager hit its node limit; drop it so the next request for
       // this width starts from a clean table instead of a full one.
-      ctx->DropManager(static_cast<int>(circuit.NumInputs()));
+      ctx->DropManager(num_vars);
       response.status = "error";
       response.error = e.what();
+      response.code = ToString(ErrorCode::kResourceExhausted);
     } catch (const std::exception& e) {
       response.status = "error";
       response.error = e.what();
+      response.code = ToString(ErrorCode::kInternal);
     }
     ctx->Publish();
     ReleaseWorker(ctx);
     if (response.ok()) {
-      ok_.fetch_add(1, std::memory_order_relaxed);
+      // Cache before the deadline re-check: a finished result is correct
+      // whenever it completed, and the next identical request hits it.
       cache_.Put(key, response.result_json);
+      if (deadline_ms > 0 && received.Millis() > deadline_ms) {
+        // The deadline expired *during* compute (or cancellation was
+        // disabled and never fired): report deadline_exceeded rather than
+        // hand back a result the client has long stopped waiting for.
+        deadline_after_compute_.fetch_add(1, std::memory_order_relaxed);
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        response.status = "timeout";
+        response.result_json.clear();
+        response.error = "deadline of " + JsonNumberToString(deadline_ms) +
+                         " ms expired during compute";
+        response.code = ToString(ErrorCode::kDeadlineExceeded);
+      } else {
+        ok_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (response.status == "timeout") {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
     } else {
       errors_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -358,13 +467,30 @@ MaskingSynthOptions ScopedSynthOptions(const ServiceRequest& request) {
 
 std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
                                            const ServiceRequest& request,
-                                           const Network& circuit) {
+                                           const Network& circuit,
+                                           const CancelToken* cancel) {
+  // Attaches the request token to the warm per-worker manager for the
+  // compute and always detaches before returning/unwinding — the token
+  // lives on the RunAnalysis stack, the manager across requests.
+  struct ManagerTokenGuard {
+    BddManager* mgr = nullptr;
+    void Attach(BddManager& m, const CancelToken* token) {
+      if (token == nullptr) return;
+      mgr = &m;
+      mgr->SetCancelToken(token);
+    }
+    ~ManagerTokenGuard() {
+      if (mgr != nullptr) mgr->SetCancelToken(nullptr);
+    }
+  } token_guard;
+
   switch (request.method) {
     case ServiceMethod::kAnalyzeSpcf: {
       const TechMapResult mapped = DecomposeAndMap(circuit, library_);
       const TimingInfo timing = AnalyzeTiming(mapped.netlist);
       BddManager& mgr = ctx.ManagerFor(
           static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
+      token_guard.Attach(mgr, cancel);
       SpcfOptions spcf_options;
       spcf_options.algorithm = request.algorithm;
       spcf_options.guard_band = request.guard;
@@ -378,8 +504,11 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       FlowOptions flow_options;
       flow_options.spcf.guard_band = request.guard;
       flow_options.synth = ScopedSynthOptions(request);
-      flow_options.reuse_manager = &ctx.ManagerFor(
+      flow_options.cancel = cancel;
+      BddManager& mgr = ctx.ManagerFor(
           static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
+      token_guard.Attach(mgr, cancel);
+      flow_options.reuse_manager = &mgr;
       const FlowResult flow = RunMaskingFlow(circuit, library_, flow_options);
       if (request.method == ServiceMethod::kSynthesizeMasking) {
         return EncodeFlowResult(flow);
@@ -390,6 +519,7 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       yield_options.seed = request.seed;
       yield_options.model.sigma = request.sigma;
       yield_options.guard_band = request.guard;
+      yield_options.cancel = cancel;
       const YieldMcResult yield = EstimateTimingYield(flow, yield_options);
       sim_words_.fetch_add(yield.words_simulated, std::memory_order_relaxed);
       sim_lanes_.fetch_add(yield.lanes_simulated, std::memory_order_relaxed);
@@ -399,8 +529,11 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       FlowOptions flow_options;
       flow_options.spcf.guard_band = request.guard;
       flow_options.synth = ScopedSynthOptions(request);
-      flow_options.reuse_manager = &ctx.ManagerFor(
+      flow_options.cancel = cancel;
+      BddManager& mgr = ctx.ManagerFor(
           static_cast<int>(circuit.NumInputs()), options_, manager_resets_);
+      token_guard.Attach(mgr, cancel);
+      flow_options.reuse_manager = &mgr;
       const FlowResult flow = RunMaskingFlow(circuit, library_, flow_options);
       InjectOptions inject_options;
       inject_options.strategy = request.strategy;
@@ -410,6 +543,7 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       inject_options.delta_fraction = request.delta_fraction;
       inject_options.seed = request.seed;
       inject_options.threads = 1;  // workers are already the parallel axis
+      inject_options.cancel = cancel;
       const InjectionCampaignResult campaign =
           RunFaultInjectionCampaign(flow, inject_options);
       sim_words_.fetch_add(campaign.words_simulated,
@@ -429,10 +563,12 @@ std::string SpeedmaskServer::ComputeResult(WorkerContext& ctx,
       opt_options.generations = request.generations;
       opt_options.seed = request.seed;
       opt_options.threads = 1;
+      opt_options.cancel = cancel;
       OptEvalConfig eval_config;
       eval_config.yield_trials = request.trials;
       eval_config.sigma = request.sigma;
       eval_config.yield_seed = request.seed;
+      eval_config.cancel = cancel;
       InProcessEvaluator evaluator(circuit, library_, eval_config);
       const OptimizeResult result =
           RunMaskingOptimizer(evaluator, opt_options);
@@ -561,6 +697,9 @@ ServiceStatsSnapshot SpeedmaskServer::SnapshotStats() {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.overloaded = overloaded_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_after_compute =
+      deadline_after_compute_.load(std::memory_order_relaxed);
   s.rejected_shutting_down =
       rejected_shutting_down_.load(std::memory_order_relaxed);
   s.write_failures = write_failures_.load(std::memory_order_relaxed);
@@ -610,6 +749,8 @@ std::string ServiceStatsSnapshot::ToResultJson() const {
   obj.Set("errors", errors);
   obj.Set("overloaded", overloaded);
   obj.Set("timeouts", timeouts);
+  obj.Set("cancelled", cancelled);
+  obj.Set("deadline_after_compute", deadline_after_compute);
   obj.Set("rejected_shutting_down", rejected_shutting_down);
   obj.Set("write_failures", write_failures);
   Json cache_obj = Json::MakeObject();

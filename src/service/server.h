@@ -85,6 +85,14 @@ struct ServerOptions {
   // so cold-vs-warm byte identity of synthesized results is lost — keep off
   // unless clients only compare semantic numbers.
   bool warm_reorder = false;
+  // Cooperative mid-flight cancellation: thread a CancelToken (deadline +
+  // work budget + client-disconnect cancel) through every analysis into the
+  // BDD/MC/injection/optimizer kernels, so an expired deadline aborts the
+  // computation and answers "timeout"/"deadline_exceeded" instead of
+  // finishing work nobody is waiting for. Exists as an option only so the
+  // chaos harness can plant the no-cancellation regression and demonstrate
+  // the wedge it causes — production keeps it on.
+  bool enable_cancellation = true;
 };
 
 struct ServiceStatsSnapshot {
@@ -94,6 +102,13 @@ struct ServiceStatsSnapshot {
   std::uint64_t errors = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t timeouts = 0;
+  // Analyses aborted mid-flight by the cancel token (deadline, budget, or
+  // client disconnect); a subset also counts under timeouts/errors by its
+  // terminal status.
+  std::uint64_t cancelled = 0;
+  // Deadline found expired by the post-compute re-check — the computation
+  // finished (and warmed the cache) but too late to be worth sending.
+  std::uint64_t deadline_after_compute = 0;
   std::uint64_t rejected_shutting_down = 0;
   std::uint64_t write_failures = 0;
   ResultCache::Stats cache;
@@ -164,7 +179,7 @@ class SpeedmaskServer {
                    Network circuit, std::uint64_t key, double deadline_ms,
                    WallTimer received);
   std::string ComputeResult(WorkerContext& ctx, const ServiceRequest& request,
-                            const Network& circuit);
+                            const Network& circuit, const CancelToken* cancel);
 
   WorkerContext* AcquireWorker();
   void ReleaseWorker(WorkerContext* ctx);
@@ -216,6 +231,8 @@ class SpeedmaskServer {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> overloaded_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_after_compute_{0};
   std::atomic<std::uint64_t> rejected_shutting_down_{0};
   std::atomic<std::uint64_t> write_failures_{0};
   std::atomic<std::uint64_t> manager_resets_{0};

@@ -233,6 +233,12 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
   // loop stops generating after the first residual one — those draws come
   // from the trial's private classify stream, so nothing downstream shifts.
   const auto run_trial = [&](std::size_t t, TrialPlan* plan) {
+    // Cancellation: skip instead of throwing across the pool; the post-pool
+    // Check() raises the typed error once every worker has drained.
+    if (options.cancel != nullptr && options.cancel->Status() != ErrorCode::kOk) {
+      return;
+    }
+    if (options.cancel != nullptr) options.cancel->ConsumeWork(1);
     TrialOutcome& out = outcomes[t];
     ShiftedSample sample = sampler.SampleShifted(options.seed, t, shift);
     out.log_weight = sample.log_weight;
@@ -467,6 +473,9 @@ YieldMcResult RunTimingYieldMc(const MappedNetlist& original,
                        }
                      });
   }
+  // Raise the typed error only after the pool has drained: the workers
+  // skipped (never threw), so no exception crosses a thread boundary.
+  if (options.cancel != nullptr) options.cancel->Check();
 
   // Sequential reduction in trial order: bit-identical for any thread count.
   YieldMcResult r;

@@ -45,6 +45,7 @@
 #include <cstdint>
 
 #include "masking/integrate.h"
+#include "util/cancel.h"
 #include "variation/variation.h"
 
 namespace sm {
@@ -80,6 +81,13 @@ struct YieldMcOptions {
   // Lanes packed per batched run, in [1, 64]. Smaller widths exist for the
   // width-identity tests; throughput wants 64.
   int batch_width = 64;
+
+  // Cooperative cancellation, polled per trial (scalar) / per chunk
+  // (batched): a tripped token makes the remaining trials no-ops and the
+  // post-pool check throws CancelledError before any reduction. Per-trial
+  // outcomes already produced are discarded with the throw, so a cancelled
+  // run never returns a partial estimate. Not owned.
+  const CancelToken* cancel = nullptr;
 
   bool importance_sampling = false;
   // Total shift magnitude ‖μ‖ in sigmas, toward slowdown, distributed over

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -13,9 +15,12 @@
 #include "fleet/router.h"
 #include "service/address.h"
 #include "service/client.h"
+#include "service/framing.h"
 #include "service/json.h"
+#include "service/protocol.h"
 #include "service/server.h"
 #include "util/hash.h"
+#include "util/timer.h"
 
 namespace sm {
 namespace {
@@ -96,7 +101,9 @@ TEST(HashRing, LeaveRemapsOnlyTheDepartedShardsKeys) {
   const HashRing after({"s0", "s1", "s2"}, 64);
   for (const std::uint64_t key : TestKeys(4000)) {
     const int was = before.Pick(key);
-    if (was != 3) EXPECT_EQ(after.Pick(key), was);
+    if (was != 3) {
+      EXPECT_EQ(after.Pick(key), was);
+    }
   }
 }
 
@@ -359,6 +366,188 @@ TEST(Fleet, RouterOverTcpShards) {
     ASSERT_TRUE(r.ok()) << r.error;
   }
   fleet.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Failover on shards dying mid-exchange
+// ---------------------------------------------------------------------------
+
+// A shard impostor that accepts real connections and then misbehaves: either
+// writes exactly half of a valid response frame and closes (a daemon dying
+// mid-send), or reads requests and never answers at all (a wedged daemon).
+class MisbehavingShard {
+ public:
+  enum class Mode { kHalfFrame, kNeverReplies };
+
+  MisbehavingShard(const std::string& path, Mode mode) : mode_(mode) {
+    std::string effective;
+    listen_fd_ = BindAndListen(ParseServiceAddress(path), 8, &effective);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MisbehavingShard() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    const int active = active_fd_.exchange(-1);
+    if (active >= 0) ::shutdown(active, SHUT_RDWR);
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  int connections() const { return connections_.load(); }
+
+ private:
+  void Loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;
+      connections_.fetch_add(1);
+      active_fd_.store(fd);
+      try {
+        while (ReadFrame(fd, 16u << 20).has_value()) {
+          if (mode_ == Mode::kHalfFrame) {
+            const std::string frame = EncodeFrame(SerializeResponse(
+                ServiceResponse{1, "ok", "{\"bogus\":true}", "", ""}));
+            [[maybe_unused]] const ssize_t n =
+                ::write(fd, frame.data(), frame.size() / 2);
+            break;  // die mid-response
+          }
+          // kNeverReplies: swallow the request, keep the peer waiting.
+        }
+      } catch (const FrameError&) {
+      }
+      if (active_fd_.exchange(-1) >= 0) ::close(fd);
+    }
+  }
+
+  const Mode mode_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<int> active_fd_{-1};
+  std::atomic<int> connections_{0};
+};
+
+// The router hashes the circuit onto the shard *address* ring, so which
+// shard serves "i1" is a pure function of the address strings. To plant the
+// impostor on i1's path, try candidate socket paths until the ring routes
+// i1 to the impostor's slot.
+std::string PlantOnCircuitPath(const std::string& other_address,
+                               const char* tag, int vnodes) {
+  ServiceRequest probe;
+  probe.method = ServiceMethod::kAnalyzeSpcf;
+  probe.circuit_name = "i1";
+  const std::uint64_t key = HashNetwork(ResolveCircuit(probe));
+  for (int i = 0; i < 64; ++i) {
+    const std::string candidate =
+        TestSocket((std::string(tag) + "_" + std::to_string(i)).c_str());
+    if (HashRing({candidate, other_address}, vnodes).Pick(key) == 0) {
+      return candidate;
+    }
+  }
+  return "";  // 2^-64: effectively unreachable
+}
+
+TEST(Fleet, FailoverWhenShardDiesMidResponseFrame) {
+  ServerOptions real_options;
+  real_options.listen_address = TestSocket("half_real");
+  real_options.num_workers = 1;
+  SpeedmaskServer real(real_options);
+  real.Start();
+
+  std::string expected;
+  {
+    ServiceClient direct(real_options.listen_address);
+    const ServiceResponse r = direct.AnalyzeSpcf("i1");
+    ASSERT_TRUE(r.ok()) << r.error;
+    expected = r.result_json;
+  }
+
+  RouterOptions ro;
+  ro.listen_address = TestSocket("half_router");
+  const std::string fake_path = PlantOnCircuitPath(
+      real_options.listen_address, "half_fake", ro.vnodes_per_shard);
+  ASSERT_FALSE(fake_path.empty());
+  MisbehavingShard fake(fake_path, MisbehavingShard::Mode::kHalfFrame);
+  ro.shards = {fake_path, real_options.listen_address};
+  FleetRouter router(ro);
+  router.Start();
+  {
+    ServiceClient client(router.address());
+    // The routed shard dies after half a response frame — twice (the router
+    // reconnects once before giving up on a shard). The client must still
+    // receive exactly one complete response with the true result bytes,
+    // never the impostor's truncated frame.
+    const ServiceResponse r = client.AnalyzeSpcf("i1");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.result_json, expected);
+  }
+  EXPECT_GE(fake.connections(), 1);
+  router.Shutdown();
+  router.Wait();
+  {
+    ServiceClient direct(real_options.listen_address);
+    EXPECT_TRUE(direct.Shutdown().ok());
+  }
+  real.Wait();
+}
+
+TEST(Fleet, FailoverWhenShardAcceptsButNeverReplies) {
+  ServerOptions real_options;
+  real_options.listen_address = TestSocket("hung_real");
+  real_options.num_workers = 1;
+  SpeedmaskServer real(real_options);
+  real.Start();
+
+  RouterOptions ro;
+  ro.listen_address = TestSocket("hung_router");
+  // The upstream read timeout is what makes a wedged shard a *bounded*
+  // failure: without it this test would hang, not fail. It also bounds the
+  // healthy shard's compute+reply, so it must comfortably exceed a cold
+  // AnalyzeSpcf on a loaded single-core CI box — 200 ms flaked there.
+  ro.shard_read_timeout_ms = 2000;
+  const std::string hung_path = PlantOnCircuitPath(
+      real_options.listen_address, "hung_fake", ro.vnodes_per_shard);
+  ASSERT_FALSE(hung_path.empty());
+  MisbehavingShard hung(hung_path, MisbehavingShard::Mode::kNeverReplies);
+  ro.shards = {hung_path, real_options.listen_address};
+  FleetRouter router(ro);
+  router.Start();
+  {
+    ServiceClient client(router.address());
+    WallTimer timer;
+    const ServiceResponse r = client.AnalyzeSpcf("i1");
+    ASSERT_TRUE(r.ok()) << r.error;
+    // Two timed-out attempts on the wedged shard (2 x 2 s) plus the real
+    // compute; far under a wedge, generous for loaded CI.
+    EXPECT_LT(timer.Millis(), 10'000);
+  }
+  EXPECT_GE(hung.connections(), 1);
+  router.Shutdown();
+  router.Wait();
+  {
+    ServiceClient direct(real_options.listen_address);
+    EXPECT_TRUE(direct.Shutdown().ok());
+  }
+  real.Wait();
+}
+
+TEST(Fleet, AllShardsUnreachableYieldsTypedUnavailable) {
+  const std::string fake_path = TestSocket("allfake");
+  MisbehavingShard fake(fake_path, MisbehavingShard::Mode::kHalfFrame);
+  RouterOptions ro;
+  ro.listen_address = TestSocket("allfake_router");
+  ro.shards = {fake_path};
+  FleetRouter router(ro);
+  router.Start();
+  {
+    ServiceClient client(router.address());
+    const ServiceResponse r = client.AnalyzeSpcf("i1");
+    EXPECT_EQ(r.status, "error");
+    EXPECT_EQ(r.code, "unavailable");
+    EXPECT_TRUE(r.retryable());
+    EXPECT_NE(r.error.find("no shard available"), std::string::npos);
+  }
+  router.Shutdown();
+  router.Wait();
 }
 
 TEST(Fleet, RejectsDegenerateOptions) {
